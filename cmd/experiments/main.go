@@ -1,0 +1,93 @@
+// Command experiments regenerates every table and figure from the paper's
+// evaluation section (§6) against the simulated substrate and prints them
+// with the paper's reference values alongside.
+//
+// Usage:
+//
+//	experiments [-scale 1.0] [-seed 2015] [-spots 25] [-run all]
+//
+// -run selects a comma-separated subset of:
+// cleaning,fig6,fig7,table4,fig8,table5,table6,table7,fig9,table8,table9,
+// driver,transitions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"taxiqueue/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "city scale (1.0 = paper-scale ~190 landmarks)")
+	seed := flag.Int64("seed", 2015, "random seed for the city and all days")
+	spots := flag.Int("spots", 25, "context-experiment spot count (paper: 25)")
+	run := flag.String("run", "all", "comma-separated experiment subset, or 'all'")
+	flag.Parse()
+
+	suite := experiments.NewSuite(experiments.Config{
+		Seed:         *seed,
+		CityScale:    *scale,
+		ContextSpots: *spots,
+	})
+
+	type exp struct {
+		name string
+		fn   func() (string, error)
+	}
+	all := []exp{
+		{"cleaning", func() (string, error) { _, s, err := suite.Cleaning(); return s, err }},
+		{"fig6", func() (string, error) { _, s, err := suite.Fig6(); return s, err }},
+		{"fig7", func() (string, error) { _, s, err := suite.Fig7(); return s, err }},
+		{"table4", func() (string, error) { _, s, err := suite.Table4(); return s, err }},
+		{"fig8", func() (string, error) { _, s, err := suite.Fig8(); return s, err }},
+		{"table5", func() (string, error) { _, s, err := suite.Table5(); return s, err }},
+		{"table6", func() (string, error) { _, s, err := suite.Table6(); return s, err }},
+		{"table7", func() (string, error) { _, s, err := suite.Table7(); return s, err }},
+		{"fig9", func() (string, error) { _, s, err := suite.Fig9(); return s, err }},
+		{"table8", func() (string, error) { _, s, err := suite.Table8(); return s, err }},
+		{"table9", func() (string, error) { _, s, err := suite.Table9(); return s, err }},
+		{"driver", func() (string, error) { _, s, err := suite.DriverBehavior(); return s, err }},
+		{"transitions", func() (string, error) { _, s, err := suite.Transitions(); return s, err }},
+		{"ablation-speed", func() (string, error) { _, s, err := suite.AblationSpeedThreshold(); return s, err }},
+		{"ablation-amplify", func() (string, error) { _, s, err := suite.AblationAmplification(); return s, err }},
+		{"ablation-zoning", func() (string, error) { _, s, err := suite.AblationZoning(); return s, err }},
+		{"registry", func() (string, error) { _, s, err := suite.Registry(); return s, err }},
+		{"accuracy", func() (string, error) { _, s, err := suite.Accuracy(); return s, err }},
+	}
+
+	selected := map[string]bool{}
+	if *run != "all" {
+		for _, name := range strings.Split(*run, ",") {
+			selected[strings.TrimSpace(name)] = true
+		}
+		known := map[string]bool{}
+		for _, e := range all {
+			known[e.name] = true
+		}
+		for name := range selected {
+			if !known[name] {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+				os.Exit(2)
+			}
+		}
+	}
+
+	start := time.Now()
+	for _, e := range all {
+		if *run != "all" && !selected[e.name] {
+			continue
+		}
+		t0 := time.Now()
+		out, err := e.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", e.name, time.Since(t0).Seconds(), out)
+	}
+	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())
+}

@@ -1,0 +1,108 @@
+// Command mdtgen generates a synthetic MDT log dataset: a full simulated
+// day (or any duration) of event-driven taxi telemetry in the Table 2 text
+// format or the binary store format.
+//
+// Usage:
+//
+//	mdtgen -o day.log                        # text format
+//	mdtgen -o day.tqs -format store          # binary store
+//	mdtgen -scale 0.25 -taxis 1000 -faults=false -duration 6h
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"taxiqueue/internal/citymap"
+	"taxiqueue/internal/mdt"
+	"taxiqueue/internal/sim"
+	"taxiqueue/internal/store"
+)
+
+func main() {
+	out := flag.String("o", "-", "output file ('-' for stdout)")
+	format := flag.String("format", "text", "output format: text or store")
+	seed := flag.Int64("seed", 1, "random seed")
+	scale := flag.Float64("scale", 1.0, "city scale (1.0 = ~190 landmarks)")
+	taxis := flag.Int("taxis", 0, "fleet size (0 = sized to the city)")
+	duration := flag.Duration("duration", 24*time.Hour, "simulated duration")
+	date := flag.String("date", "2026-01-05", "start date (YYYY-MM-DD, midnight)")
+	faults := flag.Bool("faults", true, "inject the §6.1.1 error modes")
+	cityIn := flag.String("city", "", "load the landmark registry from this JSON file instead of generating one")
+	cityOut := flag.String("savecity", "", "write the landmark registry used to this JSON file")
+	flag.Parse()
+
+	start, err := time.Parse("2006-01-02", *date)
+	if err != nil {
+		log.Fatalf("bad -date: %v", err)
+	}
+	var city *citymap.Map
+	if *cityIn != "" {
+		f, err := os.Open(*cityIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		city, err = citymap.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		city = citymap.Generate(*seed, *scale)
+	}
+	if *cityOut != "" {
+		f, err := os.Create(*cityOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := city.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res := sim.Run(sim.Config{
+		Seed:         *seed,
+		Start:        start.UTC(),
+		Duration:     *duration,
+		NumTaxis:     *taxis,
+		City:         city,
+		InjectFaults: *faults,
+	})
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	switch *format {
+	case "text":
+		if err := mdt.WriteText(w, res.Records); err != nil {
+			log.Fatal(err)
+		}
+	case "store":
+		st := store.New()
+		if err := st.AppendAll(res.Records); err != nil {
+			log.Fatal(err)
+		}
+		if err := st.Save(w); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown -format %q (want text or store)", *format)
+	}
+	fmt.Fprintf(os.Stderr, "mdtgen: %d records from %d taxis over %v (faults: %d)\n",
+		len(res.Records), res.Config.NumTaxis, *duration, res.Stats.InjectedFaults)
+}

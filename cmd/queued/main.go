@@ -1,0 +1,234 @@
+// Command queued is the deployment-style backend of §7.1: it periodically
+// recomputes queue spots and contexts from fresh (simulated) MDT data and
+// serves them over a JSON API, alongside the vehicle-monitor endpoints.
+//
+//	GET /                       web frontend (canvas map of spots + contexts)
+//	GET /spots                  all detected queue spots with current context
+//	GET /spots?at=RFC3339       contexts at a specific time
+//	GET /recommend?for=driver&lat=..&lon=..[&at=..]  ranked queue spots (§9)
+//	GET /monitors ...           the vehicle monitor service (see internal/monitor)
+//	GET /healthz
+//
+// Usage:
+//
+//	queued -addr :8080 -scale 0.25 -refresh 0   # refresh 0 = analyze once
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"taxiqueue/internal/citymap"
+	"taxiqueue/internal/clean"
+	"taxiqueue/internal/cluster"
+	"taxiqueue/internal/core"
+	"taxiqueue/internal/geo"
+	"taxiqueue/internal/monitor"
+	"taxiqueue/internal/recommend"
+	"taxiqueue/internal/sim"
+)
+
+// spotJSON is the wire format for one detected spot.
+type spotJSON struct {
+	Lat      float64 `json:"lat"`
+	Lon      float64 `json:"lon"`
+	Zone     string  `json:"zone"`
+	Pickups  int     `json:"pickups"`
+	Context  string  `json:"context"`
+	Landmark string  `json:"landmark,omitempty"`
+}
+
+type server struct {
+	mu      sync.RWMutex
+	city    *citymap.Map
+	result  *core.Result
+	grid    core.SlotGrid
+	refresh time.Time
+}
+
+func (s *server) recompute(seed int64, scale float64, minPts int) error {
+	city := s.city
+	if city == nil {
+		city = citymap.Generate(seed, scale)
+	}
+	out := sim.Run(sim.Config{Seed: seed, City: city, InjectFaults: true})
+	cleaned, _ := clean.Clean(out.Records, clean.Config{ValidFrame: citymap.Island})
+	cfg := core.DefaultEngineConfig()
+	cfg.Detector.Cluster = cluster.Params{EpsMeters: 15, MinPoints: minPts}
+	engine, err := core.NewEngine(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := engine.Analyze(cleaned)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.city = city
+	s.result = res
+	s.grid = res.Config.Grid
+	s.refresh = time.Now()
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *server) handleSpots(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	res := s.result
+	grid := s.grid
+	city := s.city
+	s.mu.RUnlock()
+	if res == nil {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	at := grid.Start.Add(12 * time.Hour)
+	if v := r.URL.Query().Get("at"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			http.Error(w, "bad 'at' timestamp", http.StatusBadRequest)
+			return
+		}
+		at = t
+	}
+	out := make([]spotJSON, 0, len(res.Spots))
+	for i := range res.Spots {
+		sa := &res.Spots[i]
+		sj := spotJSON{
+			Lat: sa.Spot.Pos.Lat, Lon: sa.Spot.Pos.Lon,
+			Zone: sa.Spot.Zone.String(), Pickups: sa.Spot.PickupCount,
+			Context: sa.LabelAt(grid, at).String(),
+		}
+		if lm, d, ok := city.NearestLandmark(sa.Spot.Pos); ok && d < 50 {
+			sj.Landmark = lm.Name
+		}
+		out = append(out, sj)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		log.Printf("encode: %v", err)
+	}
+}
+
+// handleRecommend serves the §9 recommendation feed for drivers (passenger
+// queues) and commuters (taxi queues).
+func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	res := s.result
+	grid := s.grid
+	s.mu.RUnlock()
+	if res == nil {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	q := r.URL.Query()
+	var aud recommend.Audience
+	switch q.Get("for") {
+	case "driver":
+		aud = recommend.ForDriver
+	case "commuter":
+		aud = recommend.ForCommuter
+	default:
+		http.Error(w, "need for=driver|commuter", http.StatusBadRequest)
+		return
+	}
+	var lat, lon float64
+	if _, err := fmt.Sscan(q.Get("lat"), &lat); err != nil {
+		http.Error(w, "bad lat", http.StatusBadRequest)
+		return
+	}
+	if _, err := fmt.Sscan(q.Get("lon"), &lon); err != nil {
+		http.Error(w, "bad lon", http.StatusBadRequest)
+		return
+	}
+	at := grid.Start.Add(12 * time.Hour)
+	if v := q.Get("at"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			http.Error(w, "bad 'at'", http.StatusBadRequest)
+			return
+		}
+		at = t
+	}
+	recs := recommend.Recommend(res, aud, geo.Point{Lat: lat, Lon: lon}, at, recommend.Options{})
+	type recJSON struct {
+		Lat      float64 `json:"lat"`
+		Lon      float64 `json:"lon"`
+		Context  string  `json:"context"`
+		Distance float64 `json:"distance_m"`
+		Score    float64 `json:"score"`
+	}
+	out := make([]recJSON, 0, len(recs))
+	for _, rec := range recs {
+		out = append(out, recJSON{
+			Lat: rec.Spot.Pos.Lat, Lon: rec.Spot.Pos.Lon,
+			Context: rec.Context.String(), Distance: rec.Distance, Score: rec.Score,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		log.Printf("encode: %v", err)
+	}
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	scale := flag.Float64("scale", 0.25, "city scale")
+	minPts := flag.Int("minpts", 50, "DBSCAN min-points")
+	refresh := flag.Duration("refresh", 0, "recompute interval (0 = once at startup)")
+	flag.Parse()
+
+	srv := &server{}
+	log.Printf("queued: analyzing initial day (scale %.2f)...", *scale)
+	if err := srv.recompute(*seed, *scale, *minPts); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("queued: %d queue spots ready", len(srv.result.Spots))
+
+	if *refresh > 0 {
+		go func() {
+			for i := int64(1); ; i++ {
+				time.Sleep(*refresh)
+				if err := srv.recompute(*seed+i, *scale, *minPts); err != nil {
+					log.Printf("recompute: %v", err)
+				} else {
+					log.Printf("queued: refreshed (%d spots)", len(srv.result.Spots))
+				}
+			}
+		}()
+	}
+
+	// Vehicle monitor endpoints over the busiest spots.
+	monSvc := monitor.NewService()
+	srv.mu.RLock()
+	for i := range srv.result.Spots {
+		if i >= 5 {
+			break
+		}
+		sp := srv.result.Spots[i].Spot
+		name := sp.Zone.String() + "-" + sp.Pos.String()
+		monSvc.Add(monitor.NewAreaCounter(name, geo.CirclePolygon(sp.Pos, 40, 12)))
+	}
+	srv.mu.RUnlock()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", handleIndex)
+	mux.HandleFunc("/spots", srv.handleSpots)
+	mux.HandleFunc("/recommend", srv.handleRecommend)
+	mux.Handle("/monitors", monSvc)
+	mux.Handle("/monitors/", monSvc)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		if _, err := w.Write([]byte("ok")); err != nil {
+			log.Printf("healthz: %v", err)
+		}
+	})
+	log.Printf("queued: listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"taxiqueue/internal/citymap"
+	"taxiqueue/internal/core"
+	"taxiqueue/internal/geo"
+)
+
+// testServer builds a server with a hand-made result (no simulation).
+func testServer() *server {
+	grid := core.DaySlots(time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC))
+	labels := make([]core.QueueType, 48)
+	for i := range labels {
+		labels[i] = core.C3
+	}
+	city := citymap.Generate(1, 0.1)
+	res := &core.Result{
+		Config: core.EngineConfig{Grid: grid},
+		Spots: []core.SpotAnalysis{{
+			Spot: core.QueueSpot{
+				Pos:         geo.Point{Lat: 1.3, Lon: 103.83},
+				Zone:        citymap.Central,
+				PickupCount: 120,
+			},
+			Labels: labels,
+		}},
+	}
+	return &server{city: city, result: res, grid: grid}
+}
+
+func TestHandleSpots(t *testing.T) {
+	srv := testServer()
+	req := httptest.NewRequest("GET", "/spots", nil)
+	w := httptest.NewRecorder()
+	srv.handleSpots(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	var spots []spotJSON
+	if err := json.Unmarshal(w.Body.Bytes(), &spots); err != nil {
+		t.Fatal(err)
+	}
+	if len(spots) != 1 || spots[0].Context != "C3" || spots[0].Zone != "Central" {
+		t.Fatalf("spots = %+v", spots)
+	}
+}
+
+func TestHandleSpotsBadTime(t *testing.T) {
+	srv := testServer()
+	req := httptest.NewRequest("GET", "/spots?at=yesterday", nil)
+	w := httptest.NewRecorder()
+	srv.handleSpots(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", w.Code)
+	}
+}
+
+func TestHandleSpotsNotReady(t *testing.T) {
+	srv := &server{}
+	w := httptest.NewRecorder()
+	srv.handleSpots(w, httptest.NewRequest("GET", "/spots", nil))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", w.Code)
+	}
+}
+
+func TestHandleRecommend(t *testing.T) {
+	srv := testServer()
+	// The only spot is C3 all day: great for a commuter, useless for a
+	// driver.
+	req := httptest.NewRequest("GET", "/recommend?for=commuter&lat=1.30&lon=103.82", nil)
+	w := httptest.NewRecorder()
+	srv.handleRecommend(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var recs []struct {
+		Context  string  `json:"context"`
+		Distance float64 `json:"distance_m"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Context != "C3" {
+		t.Fatalf("commuter recs = %+v", recs)
+	}
+	if recs[0].Distance < 500 || recs[0].Distance > 2500 {
+		t.Fatalf("distance %f implausible", recs[0].Distance)
+	}
+
+	w = httptest.NewRecorder()
+	srv.handleRecommend(w, httptest.NewRequest("GET", "/recommend?for=driver&lat=1.30&lon=103.82", nil))
+	var driverRecs []json.RawMessage
+	if err := json.Unmarshal(w.Body.Bytes(), &driverRecs); err != nil {
+		t.Fatal(err)
+	}
+	if len(driverRecs) != 0 {
+		t.Fatalf("driver got %d recs for a C3-only city", len(driverRecs))
+	}
+}
+
+func TestHandleIndex(t *testing.T) {
+	w := httptest.NewRecorder()
+	handleIndex(w, httptest.NewRequest("GET", "/", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, want := range []string{"<canvas", "/spots", "C1", "Unidentified"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("frontend page missing %q", want)
+		}
+	}
+	// Any other path is a 404, not the page.
+	w = httptest.NewRecorder()
+	handleIndex(w, httptest.NewRequest("GET", "/nope", nil))
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("unknown path -> %d, want 404", w.Code)
+	}
+}
+
+func TestHandleRecommendValidation(t *testing.T) {
+	srv := testServer()
+	for _, url := range []string{
+		"/recommend",                                     // missing audience
+		"/recommend?for=alien&lat=1&lon=103",             // bad audience
+		"/recommend?for=driver&lat=x&lon=103",            // bad lat
+		"/recommend?for=driver&lat=1.3&lon=x",            // bad lon
+		"/recommend?for=driver&lat=1.3&lon=103.8&at=bad", // bad time
+	} {
+		w := httptest.NewRecorder()
+		srv.handleRecommend(w, httptest.NewRequest("GET", url, nil))
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s -> %d, want 400", url, w.Code)
+		}
+	}
+}

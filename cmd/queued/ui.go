@@ -1,0 +1,85 @@
+package main
+
+import "net/http"
+
+// indexHTML is the §7.1 web frontend, self-contained (no external map
+// tiles): it fetches /spots, draws the island frame and every queue spot
+// as a context-colored dot on a canvas, and shows spot details on hover —
+// the same interaction Fig. 10 shows over Google Maps.
+const indexHTML = `<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>taxiqueue — queue spots</title>
+<style>
+  body { font-family: sans-serif; margin: 1.5em; background: #fafafa; }
+  canvas { border: 1px solid #bbb; background: #eef3f7; }
+  .legend span { display: inline-block; margin-right: 1.2em; }
+  .dot { display: inline-block; width: 10px; height: 10px; border-radius: 5px;
+         margin-right: 4px; vertical-align: middle; }
+  #info { margin-top: .6em; min-height: 1.4em; color: #333; }
+</style>
+</head>
+<body>
+<h2>Queue spots — <span id="count">…</span> detected</h2>
+<div class="legend">
+  <span><i class="dot" style="background:#d62728"></i>C1 taxi+passenger queue</span>
+  <span><i class="dot" style="background:#ff7f0e"></i>C2 passenger queue</span>
+  <span><i class="dot" style="background:#1f77b4"></i>C3 taxi queue</span>
+  <span><i class="dot" style="background:#2ca02c"></i>C4 no queue</span>
+  <span><i class="dot" style="background:#999"></i>unidentified</span>
+</div>
+<canvas id="map" width="1000" height="560"></canvas>
+<div id="info">hover a spot for details</div>
+<script>
+const FRAME = {minLat: 1.220, maxLat: 1.460, minLon: 103.600, maxLon: 104.045};
+const COLORS = {C1: "#d62728", C2: "#ff7f0e", C3: "#1f77b4", C4: "#2ca02c",
+                Unidentified: "#999"};
+const cv = document.getElementById("map"), ctx = cv.getContext("2d");
+function xy(s) {
+  return [ (s.lon - FRAME.minLon) / (FRAME.maxLon - FRAME.minLon) * cv.width,
+           (1 - (s.lat - FRAME.minLat) / (FRAME.maxLat - FRAME.minLat)) * cv.height ];
+}
+let spots = [];
+fetch("/spots").then(r => r.json()).then(data => {
+  spots = data;
+  document.getElementById("count").textContent = spots.length;
+  ctx.clearRect(0, 0, cv.width, cv.height);
+  for (const s of spots) {
+    const [x, y] = xy(s);
+    ctx.beginPath();
+    ctx.arc(x, y, 5, 0, 2 * Math.PI);
+    ctx.fillStyle = COLORS[s.context] || "#999";
+    ctx.fill();
+  }
+});
+cv.addEventListener("mousemove", ev => {
+  const r = cv.getBoundingClientRect();
+  const mx = ev.clientX - r.left, my = ev.clientY - r.top;
+  let best = null, bestD = 12;
+  for (const s of spots) {
+    const [x, y] = xy(s);
+    const d = Math.hypot(x - mx, y - my);
+    if (d < bestD) { best = s; bestD = d; }
+  }
+  document.getElementById("info").textContent = best
+    ? (best.landmark || "unnamed") + " — " + best.zone + " zone, " +
+      best.context + ", " + best.pickups + " pickups"
+    : "hover a spot for details";
+});
+</script>
+</body>
+</html>
+`
+
+// handleIndex serves the frontend page.
+func handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if _, err := w.Write([]byte(indexHTML)); err != nil {
+		return
+	}
+}

@@ -1,0 +1,17 @@
+// Package taxiqueue reproduces "Taxi Queue, Passenger Queue or No Queue? —
+// A Queue Detection and Analysis System using Taxi State Transition"
+// (Lu, Xiang, Wu; EDBT 2015).
+//
+// The paper's contribution lives in internal/core (the PEA, WTE and QCD
+// algorithms and the two-tier analytic engine); every substrate it needs —
+// the MDT state machine, a city-scale fleet simulator, spatial indexes,
+// DBSCAN, the booking dispatcher, the vehicle monitor, an embedded log
+// store — is implemented from scratch in the sibling internal packages.
+// See DESIGN.md for the inventory and EXPERIMENTS.md for the paper-vs-
+// measured record of every table and figure.
+//
+// The root-level benchmarks in bench_test.go regenerate each experiment;
+// run them with:
+//
+//	go test -bench=. -benchmem
+package taxiqueue

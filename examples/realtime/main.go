@@ -1,0 +1,98 @@
+// Realtime: the online engine (§7.1's real-time requirement).
+//
+// A batch run overnight fixes the queue-spot locations and QCD thresholds;
+// the day's MDT feed is then replayed record by record through the
+// streaming engine, which emits pickup events and finalized slot contexts
+// as they happen and can answer "what is the context right now?" with a
+// provisional estimate mid-slot.
+//
+//	go run ./examples/realtime
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"taxiqueue/internal/citymap"
+	"taxiqueue/internal/clean"
+	"taxiqueue/internal/cluster"
+	"taxiqueue/internal/core"
+	"taxiqueue/internal/sim"
+	"taxiqueue/internal/stream"
+)
+
+func main() {
+	city := citymap.Generate(41, 0.15)
+
+	// "Yesterday": the batch run that fixes spots and thresholds.
+	yesterday := sim.Run(sim.Config{Seed: 41, City: city, InjectFaults: true})
+	recs, _ := clean.Clean(yesterday.Records, clean.Config{ValidFrame: citymap.Island})
+	cfg := core.DefaultEngineConfig()
+	cfg.Detector.Cluster = cluster.Params{EpsMeters: 15, MinPoints: 40}
+	engine, err := core.NewEngine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch, err := engine.Analyze(recs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch run: %d spots, thresholds calibrated\n", len(batch.Spots))
+
+	// "Today": a fresh day streamed through the online engine.
+	todayStart := yesterday.Config.Start.Add(24 * time.Hour)
+	today := sim.Run(sim.Config{Seed: 42, City: city, Start: todayStart, InjectFaults: true})
+	cleanToday, _ := clean.Clean(today.Records, clean.Config{ValidFrame: citymap.Island})
+
+	spots := make([]core.QueueSpot, len(batch.Spots))
+	ths := make([]core.Thresholds, len(batch.Spots))
+	for i := range batch.Spots {
+		spots[i] = batch.Spots[i].Spot
+		ths[i] = batch.Spots[i].Thresholds
+	}
+	live := stream.NewLive(stream.Config{
+		Spots:      spots,
+		Thresholds: ths,
+		Grid:       core.DaySlots(todayStart),
+		Amplify:    core.PaperAmplification,
+	})
+
+	// Watch the busiest spot; print its slot closures as they stream in,
+	// and take a provisional estimate at 18:10.
+	watch := 0
+	estimateAt := todayStart.Add(18*time.Hour + 10*time.Minute)
+	estimated := false
+	pickups, slots := 0, 0
+	for _, rec := range cleanToday {
+		if !estimated && rec.Time.After(estimateAt) {
+			if q, ok := live.CurrentEstimate(watch, estimateAt); ok {
+				fmt.Printf(">>> 18:10 provisional context at watched spot: %v (slot still open)\n", q)
+			} else {
+				fmt.Println(">>> 18:10: no provisional estimate yet (no completed pickups this slot)")
+			}
+			estimated = true
+		}
+		for _, ev := range live.Ingest(rec) {
+			switch ev.Kind {
+			case stream.PickupDetected:
+				pickups++
+			case stream.SlotClosed:
+				slots++
+				if ev.Spot == watch {
+					from, to := core.DaySlots(todayStart).Bounds(ev.Slot)
+					fmt.Printf("%s-%s finalized: %-4v (wait %v, %0.f arrivals)\n",
+						from.Format("15:04"), to.Format("15:04"), ev.Label,
+						ev.Features.TWait.Round(time.Second), ev.Features.NArr)
+				}
+			}
+		}
+	}
+	for _, ev := range live.Flush() {
+		if ev.Kind == stream.SlotClosed {
+			slots++
+		}
+	}
+	fmt.Printf("\nstreamed %d records: %d pickup events, %d slots finalized\n",
+		len(cleanToday), pickups, slots)
+}

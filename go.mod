@@ -1,0 +1,3 @@
+module taxiqueue
+
+go 1.22

@@ -1,0 +1,93 @@
+package citymap
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"taxiqueue/internal/geo"
+)
+
+// landmarkJSON is the on-disk form of a Landmark. Category and Profile use
+// their numeric codes plus a redundant name for human readability.
+type landmarkJSON struct {
+	Name          string  `json:"name"`
+	Category      uint8   `json:"category"`
+	CategoryName  string  `json:"category_name,omitempty"`
+	Lat           float64 `json:"lat"`
+	Lon           float64 `json:"lon"`
+	Zone          uint8   `json:"zone"`
+	TaxiStand     bool    `json:"taxi_stand,omitempty"`
+	RegisteredLat float64 `json:"registered_lat,omitempty"`
+	RegisteredLon float64 `json:"registered_lon,omitempty"`
+	Lots          int     `json:"lots"`
+	Profile       uint8   `json:"profile"`
+	WeekendOnly   bool    `json:"weekend_only,omitempty"`
+}
+
+type mapJSON struct {
+	Version   int            `json:"version"`
+	Landmarks []landmarkJSON `json:"landmarks"`
+}
+
+// Save writes the city as JSON. Users adopting the system on a real city
+// replace Generate with a hand-curated registry loaded through Load.
+func (m *Map) Save(w io.Writer) error {
+	doc := mapJSON{Version: 1, Landmarks: make([]landmarkJSON, len(m.Landmarks))}
+	for i, lm := range m.Landmarks {
+		doc.Landmarks[i] = landmarkJSON{
+			Name:         lm.Name,
+			Category:     uint8(lm.Category),
+			CategoryName: lm.Category.String(),
+			Lat:          lm.Pos.Lat, Lon: lm.Pos.Lon,
+			Zone:          uint8(lm.Zone),
+			TaxiStand:     lm.TaxiStand,
+			RegisteredLat: lm.RegisteredPos.Lat, RegisteredLon: lm.RegisteredPos.Lon,
+			Lots:        lm.Lots,
+			Profile:     uint8(lm.Profile),
+			WeekendOnly: lm.WeekendOnly,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Load reads a city previously written by Save (or hand-authored).
+func Load(r io.Reader) (*Map, error) {
+	var doc mapJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("citymap: %w", err)
+	}
+	if doc.Version != 1 {
+		return nil, fmt.Errorf("citymap: unsupported version %d", doc.Version)
+	}
+	m := &Map{Landmarks: make([]Landmark, len(doc.Landmarks))}
+	for i, lj := range doc.Landmarks {
+		if lj.Category >= NumCategories {
+			return nil, fmt.Errorf("citymap: landmark %d: bad category %d", i, lj.Category)
+		}
+		if lj.Zone >= NumZones {
+			return nil, fmt.Errorf("citymap: landmark %d: bad zone %d", i, lj.Zone)
+		}
+		if lj.Lots < 1 {
+			return nil, fmt.Errorf("citymap: landmark %d: lots must be >= 1", i)
+		}
+		pos := geo.Point{Lat: lj.Lat, Lon: lj.Lon}
+		if !pos.Valid() {
+			return nil, fmt.Errorf("citymap: landmark %d: invalid position", i)
+		}
+		m.Landmarks[i] = Landmark{
+			Name:          lj.Name,
+			Category:      Category(lj.Category),
+			Pos:           pos,
+			Zone:          Zone(lj.Zone),
+			TaxiStand:     lj.TaxiStand,
+			RegisteredPos: geo.Point{Lat: lj.RegisteredLat, Lon: lj.RegisteredLon},
+			Lots:          lj.Lots,
+			Profile:       ProfileKind(lj.Profile),
+			WeekendOnly:   lj.WeekendOnly,
+		}
+	}
+	return m, nil
+}

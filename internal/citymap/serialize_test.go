@@ -1,0 +1,71 @@
+package citymap
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := Generate(55, 0.3)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Landmarks) != len(m.Landmarks) {
+		t.Fatalf("loaded %d landmarks, want %d", len(loaded.Landmarks), len(m.Landmarks))
+	}
+	for i := range m.Landmarks {
+		if loaded.Landmarks[i] != m.Landmarks[i] {
+			t.Fatalf("landmark %d differs after round trip:\n%+v\n%+v",
+				i, m.Landmarks[i], loaded.Landmarks[i])
+		}
+	}
+}
+
+func TestLoadRejectsBadDocuments(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      "not json",
+		"bad version":  `{"version": 2, "landmarks": []}`,
+		"bad category": `{"version": 1, "landmarks": [{"name":"x","category":99,"lat":1.3,"lon":103.8,"zone":0,"lots":1}]}`,
+		"bad zone":     `{"version": 1, "landmarks": [{"name":"x","category":0,"lat":1.3,"lon":103.8,"zone":9,"lots":1}]}`,
+		"bad lots":     `{"version": 1, "landmarks": [{"name":"x","category":0,"lat":1.3,"lon":103.8,"zone":0,"lots":0}]}`,
+		"bad position": `{"version": 1, "landmarks": [{"name":"x","category":0,"lat":123,"lon":103.8,"zone":0,"lots":1}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: Load accepted invalid document", name)
+		}
+	}
+}
+
+func TestLoadHandAuthored(t *testing.T) {
+	// A minimal hand-written registry, as a real-city adopter would write.
+	doc := `{
+	  "version": 1,
+	  "landmarks": [
+	    {"name": "Main Stand", "category": 0, "lat": 1.30, "lon": 103.85,
+	     "zone": 0, "taxi_stand": true, "lots": 4, "profile": 0}
+	  ]
+	}`
+	m, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.TaxiStands()) != 1 {
+		t.Fatal("hand-authored stand not loaded")
+	}
+	lm := m.Landmarks[0]
+	if lm.Name != "Main Stand" || lm.Category != MRTBus || lm.Lots != 4 {
+		t.Fatalf("landmark mis-parsed: %+v", lm)
+	}
+	// The loaded city drives rate lookups like a generated one.
+	r := RatesAt(lm, 8, Weekday)
+	if r.PassengersPerHour <= 0 || r.TaxisPerHour <= 0 {
+		t.Fatalf("loaded landmark yields no rates: %+v", r)
+	}
+}

@@ -1,0 +1,392 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"taxiqueue/internal/citymap"
+	"taxiqueue/internal/clean"
+	"taxiqueue/internal/cluster"
+	"taxiqueue/internal/geo"
+	"taxiqueue/internal/mdt"
+	"taxiqueue/internal/sim"
+)
+
+// simDay runs a quarter-scale simulated day and cleans it, caching the
+// result across tests in this package.
+var simDayCache *simDayResult
+
+type simDayResult struct {
+	out     sim.Output
+	cleaned []mdt.Record
+}
+
+func simDay(t testing.TB) *simDayResult {
+	t.Helper()
+	if simDayCache != nil {
+		return simDayCache
+	}
+	cfg := sim.Config{Seed: 42, City: citymap.Generate(4242, 0.25), InjectFaults: true}
+	out := sim.Run(cfg)
+	cleaned, _ := clean.Clean(out.Records, clean.Config{ValidFrame: citymap.Island})
+	simDayCache = &simDayResult{out: out, cleaned: cleaned}
+	return simDayCache
+}
+
+// engineForTest uses a smaller DBSCAN minPts than the paper because the
+// quarter-scale test city has fewer taxis feeding each spot.
+func engineForTest(t testing.TB) *Engine {
+	t.Helper()
+	cfg := DefaultEngineConfig()
+	cfg.Detector.Cluster = cluster.Params{EpsMeters: 15, MinPoints: 30}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEngineDetectsSpotsAtLandmarks(t *testing.T) {
+	day := simDay(t)
+	res, err := engineForTest(t).Analyze(day.cleaned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Spots) < 10 {
+		t.Fatalf("detected only %d spots", len(res.Spots))
+	}
+	city := day.out.Config.City
+	// Precision: every detected spot lies within 30 m of some landmark.
+	falsePositives := 0
+	var locErrSum float64
+	for _, s := range res.Spots {
+		_, d, _ := city.NearestLandmark(s.Spot.Pos)
+		if d > 30 {
+			falsePositives++
+		} else {
+			locErrSum += d
+		}
+	}
+	if falsePositives > len(res.Spots)/10 {
+		t.Errorf("%d/%d detected spots are not near any landmark", falsePositives, len(res.Spots))
+	}
+	// Mean location error should be GPS-noise scale (paper: 7.6 m).
+	meanErr := locErrSum / float64(len(res.Spots)-falsePositives)
+	if meanErr > 12 {
+		t.Errorf("mean location error %.1f m, want < 12 m", meanErr)
+	}
+	// Recall: busy landmarks (>= 150 true pickups) must be detected.
+	missed := 0
+	busy := 0
+	for i, st := range day.out.Truth.Spots {
+		if st.Pickups < 150 {
+			continue
+		}
+		busy++
+		found := false
+		for _, s := range res.Spots {
+			if geo.Equirect(s.Spot.Pos, city.Landmarks[i].Pos) < 30 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missed++
+		}
+	}
+	if busy == 0 {
+		t.Fatal("no busy landmarks in ground truth")
+	}
+	if missed > busy/10 {
+		t.Errorf("missed %d of %d busy landmarks", missed, busy)
+	}
+}
+
+func TestEngineLabelsTrackGroundTruth(t *testing.T) {
+	day := simDay(t)
+	res, err := engineForTest(t).Analyze(day.cleaned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	city := day.out.Config.City
+	grid := res.Config.Grid
+
+	// For every labeled slot, compare against the simulator's true queue
+	// state. Aggregate true taxi-queue lengths per label: C1/C3 slots
+	// should sit on much longer true taxi queues than C2/C4 slots.
+	var lenSum [5]float64
+	var lenN [5]int
+	var paxSum [5]float64
+	for _, sa := range res.Spots {
+		// Match the spot back to its landmark's ground truth.
+		var truth *sim.SpotTruth
+		for i := range city.Landmarks {
+			if geo.Equirect(sa.Spot.Pos, city.Landmarks[i].Pos) < 30 {
+				truth = day.out.Truth.Spots[i]
+				break
+			}
+		}
+		if truth == nil {
+			continue
+		}
+		for j, lbl := range sa.Labels {
+			from, to := grid.Bounds(j)
+			lenSum[lbl] += truth.AvgTaxiQueueLen(from, to)
+			paxSum[lbl] += truth.AvgPaxQueueLen(from, to)
+			lenN[lbl]++
+		}
+	}
+	avg := func(sum [5]float64, lbl QueueType) float64 {
+		if lenN[lbl] == 0 {
+			return 0
+		}
+		return sum[lbl] / float64(lenN[lbl])
+	}
+	taxiQueueish := (avg(lenSum, C1)*float64(lenN[C1]) + avg(lenSum, C3)*float64(lenN[C3])) /
+		float64(max(lenN[C1]+lenN[C3], 1))
+	noTaxiQueueish := (avg(lenSum, C2)*float64(lenN[C2]) + avg(lenSum, C4)*float64(lenN[C4])) /
+		float64(max(lenN[C2]+lenN[C4], 1))
+	if lenN[C1]+lenN[C3] == 0 {
+		t.Fatal("no slots labeled C1 or C3")
+	}
+	if lenN[C2]+lenN[C4] == 0 {
+		t.Fatal("no slots labeled C2 or C4")
+	}
+	if taxiQueueish <= noTaxiQueueish {
+		t.Errorf("true taxi queue length under C1/C3 labels (%.2f) not above C2/C4 (%.2f)",
+			taxiQueueish, noTaxiQueueish)
+	}
+	// Passenger-queue validation: C1+C2 slots see longer true passenger
+	// queues than C3+C4 slots.
+	paxQueueish := (paxSum[C1] + paxSum[C2]) / float64(max(lenN[C1]+lenN[C2], 1))
+	noPaxQueueish := (paxSum[C3] + paxSum[C4]) / float64(max(lenN[C3]+lenN[C4], 1))
+	if paxQueueish <= noPaxQueueish {
+		t.Errorf("true passenger queue length under C1/C2 labels (%.2f) not above C3/C4 (%.2f)",
+			paxQueueish, noPaxQueueish)
+	}
+}
+
+func TestEngineAllContextsAppear(t *testing.T) {
+	day := simDay(t)
+	res, err := engineForTest(t).Analyze(day.cleaned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all [][]QueueType
+	for _, sa := range res.Spots {
+		all = append(all, sa.Labels)
+	}
+	p := Proportions(all...)
+	for _, q := range []QueueType{C1, C2, C3, C4} {
+		if p[q] == 0 {
+			t.Errorf("context %v never identified (proportions %v)", q, p)
+		}
+	}
+	// The two dominant shares in the paper are C1 (~30%) and C4 (~33%);
+	// unidentified is ~16%. Check coarse ordering only.
+	if p[C4] < 0.10 {
+		t.Errorf("C4 share %.2f too low", p[C4])
+	}
+	if p[Unidentified] > 0.60 {
+		t.Errorf("unidentified share %.2f too high", p[Unidentified])
+	}
+}
+
+func TestEngineEmptyInput(t *testing.T) {
+	e, err := NewEngine(DefaultEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Analyze(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Spots) != 0 || len(res.Pickups) != 0 {
+		t.Fatal("empty input produced spots")
+	}
+}
+
+func TestEngineAdversarialInputs(t *testing.T) {
+	e, err := NewEngine(DefaultEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 1, 5, 8, 0, 0, 0, time.UTC)
+	mk := func(n int, sameTaxi, samePos bool) []mdt.Record {
+		recs := make([]mdt.Record, n)
+		for i := range recs {
+			id := "SH0001A"
+			if !sameTaxi {
+				id = "SH" + string(rune('0'+i%10)) + "001A"
+			}
+			pos := geo.Point{Lat: 1.30, Lon: 103.83}
+			if !samePos {
+				pos = geo.Offset(pos, float64(i%100)*50, float64(i%37)*50)
+			}
+			recs[i] = mdt.Record{
+				Time: base.Add(time.Duration(i) * 20 * time.Second), TaxiID: id,
+				Pos: pos, Speed: float64(i % 60), State: mdt.State(i % 4),
+			}
+		}
+		return recs
+	}
+	cases := []struct {
+		name string
+		recs []mdt.Record
+	}{
+		{"single taxi", mk(5000, true, false)},
+		{"single location", mk(5000, false, true)},
+		{"single record", mk(1, true, true)},
+		{"two identical records", append(mk(1, true, true), mk(1, true, true)...)},
+	}
+	for _, c := range cases {
+		res, err := e.Analyze(c.recs)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		for _, sa := range res.Spots {
+			if len(sa.Labels) == 0 {
+				t.Fatalf("%s: spot with no labels", c.name)
+			}
+		}
+	}
+}
+
+func TestEngineConfigValidation(t *testing.T) {
+	if _, err := NewEngine(EngineConfig{SpeedThresholdKmh: -1}); err == nil {
+		t.Error("negative speed threshold accepted")
+	}
+	bad := DefaultEngineConfig()
+	bad.Detector.Cluster = cluster.Params{EpsMeters: -5, MinPoints: 10}
+	if _, err := NewEngine(bad); err == nil {
+		t.Error("negative eps accepted")
+	}
+}
+
+func TestEngineDeterministic(t *testing.T) {
+	day := simDay(t)
+	e := engineForTest(t)
+	a, err := e.Analyze(day.cleaned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Analyze(day.cleaned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Spots) != len(b.Spots) {
+		t.Fatalf("spot counts differ: %d vs %d", len(a.Spots), len(b.Spots))
+	}
+	for i := range a.Spots {
+		if a.Spots[i].Spot != b.Spots[i].Spot {
+			t.Fatal("spot order/content not deterministic")
+		}
+		for j := range a.Spots[i].Labels {
+			if a.Spots[i].Labels[j] != b.Spots[i].Labels[j] {
+				t.Fatal("labels not deterministic")
+			}
+		}
+	}
+}
+
+func TestSpotCountByZone(t *testing.T) {
+	day := simDay(t)
+	res, err := engineForTest(t).Analyze(day.cleaned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byZone := res.SpotCountByZone()
+	total := 0
+	for _, n := range byZone {
+		total += n
+	}
+	if total != len(res.Spots) {
+		t.Fatalf("zone counts sum %d != %d spots", total, len(res.Spots))
+	}
+}
+
+func TestDetectSpotsSynthetic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	mk := func(center geo.Point, n int) []Pickup {
+		ps := make([]Pickup, n)
+		for i := range ps {
+			ps[i] = Pickup{Centroid: geo.Offset(center, rng.NormFloat64()*4, rng.NormFloat64()*4)}
+		}
+		return ps
+	}
+	a := geo.Point{Lat: 1.30, Lon: 103.82} // Central
+	b := geo.Point{Lat: 1.36, Lon: 103.99} // East
+	pickups := append(mk(a, 80), mk(b, 60)...)
+	// Scatter noise.
+	for i := 0; i < 100; i++ {
+		pickups = append(pickups, Pickup{Centroid: geo.Point{
+			Lat: 1.23 + rng.Float64()*0.2, Lon: 103.62 + rng.Float64()*0.4}})
+	}
+	cfg := DetectorConfig{Cluster: cluster.Params{EpsMeters: 15, MinPoints: 30}, ByZone: true}
+	spots, err := DetectSpots(pickups, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spots) != 2 {
+		t.Fatalf("detected %d spots, want 2", len(spots))
+	}
+	if spots[0].PickupCount < spots[1].PickupCount {
+		t.Error("spots not sorted by pickup count")
+	}
+	zones := map[citymap.Zone]bool{}
+	for _, s := range spots {
+		zones[s.Zone] = true
+	}
+	if !zones[citymap.Central] || !zones[citymap.East] {
+		t.Errorf("zones wrong: %v", spots)
+	}
+	// ByZone=false must find the same two clusters.
+	cfg.ByZone = false
+	flat, err := DetectSpots(pickups, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat) != 2 {
+		t.Fatalf("island-wide clustering found %d spots, want 2", len(flat))
+	}
+}
+
+func TestAssignPickups(t *testing.T) {
+	a := geo.Point{Lat: 1.30, Lon: 103.82}
+	b := geo.Point{Lat: 1.36, Lon: 103.99}
+	spots := []QueueSpot{{Pos: a}, {Pos: b}}
+	pickups := []Pickup{
+		{Centroid: geo.Offset(a, 5, 5)},
+		{Centroid: geo.Offset(a, -8, 3)},
+		{Centroid: geo.Offset(b, 2, -4)},
+		{Centroid: geo.Offset(a, 500, 0)}, // too far: dropped
+	}
+	assigned := AssignPickups(pickups, spots, 30)
+	if len(assigned[0]) != 2 || len(assigned[1]) != 1 {
+		t.Fatalf("assignment = %d/%d, want 2/1", len(assigned[0]), len(assigned[1]))
+	}
+	if got := AssignPickups(pickups, nil, 30); len(got) != 0 {
+		t.Fatal("assignment to zero spots non-empty")
+	}
+}
+
+func TestSpotPositions(t *testing.T) {
+	spots := []QueueSpot{{Pos: geo.Point{Lat: 1, Lon: 2}}, {Pos: geo.Point{Lat: 3, Lon: 4}}}
+	pts := SpotPositions(spots)
+	if len(pts) != 2 || pts[1] != (geo.Point{Lat: 3, Lon: 4}) {
+		t.Fatalf("positions = %v", pts)
+	}
+}
+
+func TestLabelAt(t *testing.T) {
+	grid := DaySlots(midnight())
+	sa := SpotAnalysis{Labels: make([]QueueType, 48)}
+	sa.Labels[20] = C1
+	if got := sa.LabelAt(grid, midnight().Add(10*time.Hour+5*time.Minute)); got != C1 {
+		t.Fatalf("LabelAt = %v, want C1", got)
+	}
+	if got := sa.LabelAt(grid, midnight().Add(-time.Hour)); got != Unidentified {
+		t.Fatalf("LabelAt out of range = %v", got)
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"sort"
+	"time"
+)
+
+// SlotFeatures is the 5-tuple φ(r)ʲ of §5.2 describing one time slot at one
+// queue spot, plus bookkeeping used by threshold selection.
+type SlotFeatures struct {
+	// TWait is t̄wait: the mean street-job wait time over the slot.
+	TWait time.Duration
+	// NArr is N_arr: the number of FREE-taxi arrivals (street-job waits
+	// whose Start falls in the slot), after amplification.
+	NArr float64
+	// QLen is L̄: the Little's-Law FREE-taxi queue length estimate
+	// t̄wait · λ̄ where λ̄ = N_arr / slot length.
+	QLen float64
+	// TDep is t̄dep: the mean interval between consecutive departures
+	// (street + booking) in the slot, after amplification.
+	TDep time.Duration
+	// NDep is N_dep: the number of departures in the slot, after
+	// amplification.
+	NDep float64
+	// StreetDepartures/BookingDepartures split NDep's raw counts by job
+	// kind (needed for the zone street-job ratio τ_ratio).
+	StreetDepartures  int
+	BookingDepartures int
+}
+
+// Amplification holds the §6.2.1 dataset-coverage correction: the operator
+// feed covers only a fraction of the fleet, so count features are scaled up
+// by Factor = 1/coverage and the departure interval down by coverage.
+type Amplification struct {
+	// Factor multiplies N_arr, L̄ and N_dep (1.667 in the paper).
+	Factor float64
+	// IntervalFactor multiplies t̄dep (0.6 in the paper).
+	IntervalFactor float64
+}
+
+// PaperAmplification is the §6.2.1 setting for a 60%-coverage dataset.
+var PaperAmplification = Amplification{Factor: 1.667, IntervalFactor: 0.6}
+
+// NoAmplification leaves features unscaled (full-coverage datasets).
+var NoAmplification = Amplification{Factor: 1, IntervalFactor: 1}
+
+// DefaultSlotLength is the paper's slot size: 48 slots of 1800 s per day
+// (§6.2.1).
+const DefaultSlotLength = 30 * time.Minute
+
+// SlotGrid fixes the time-slot partition [start, start+L·slotLen).
+type SlotGrid struct {
+	Start   time.Time
+	SlotLen time.Duration
+	Slots   int
+}
+
+// DaySlots returns the paper's 48×30-minute grid for the day beginning at
+// midnight t.
+func DaySlots(midnight time.Time) SlotGrid {
+	return SlotGrid{Start: midnight, SlotLen: DefaultSlotLength, Slots: 48}
+}
+
+// Index returns the slot index for t, or -1 when t is outside the grid.
+func (g SlotGrid) Index(t time.Time) int {
+	if t.Before(g.Start) {
+		return -1
+	}
+	j := int(t.Sub(g.Start) / g.SlotLen)
+	if j >= g.Slots {
+		return -1
+	}
+	return j
+}
+
+// Bounds returns slot j's [from, to) interval.
+func (g SlotGrid) Bounds(j int) (from, to time.Time) {
+	from = g.Start.Add(time.Duration(j) * g.SlotLen)
+	return from, from.Add(g.SlotLen)
+}
+
+// ComputeFeatures derives the per-slot 5-tuples Ω(r) from a spot's wait set
+// Y(r). Street-job waits provide the arrival features; all departures
+// provide the departure features, matching §5.2 exactly.
+func ComputeFeatures(waits []Wait, grid SlotGrid, amp Amplification) []SlotFeatures {
+	if amp.Factor == 0 {
+		amp = NoAmplification
+	}
+	feats := make([]SlotFeatures, grid.Slots)
+	waitSum := make([]time.Duration, grid.Slots)
+	waitN := make([]int, grid.Slots)
+	departures := make([][]time.Time, grid.Slots)
+
+	for _, w := range waits {
+		if w.Street() {
+			if j := grid.Index(w.Start); j >= 0 {
+				waitSum[j] += w.Duration()
+				waitN[j]++
+			}
+		}
+		if j := grid.Index(w.End); j >= 0 {
+			departures[j] = append(departures[j], w.End)
+			if w.Street() {
+				feats[j].StreetDepartures++
+			} else {
+				feats[j].BookingDepartures++
+			}
+		}
+	}
+
+	slotSec := grid.SlotLen.Seconds()
+	for j := range feats {
+		f := &feats[j]
+		if waitN[j] > 0 {
+			f.TWait = waitSum[j] / time.Duration(waitN[j])
+		}
+		f.NArr = float64(waitN[j]) * amp.Factor
+		lambda := f.NArr / slotSec
+		f.QLen = f.TWait.Seconds() * lambda
+		deps := departures[j]
+		sort.Slice(deps, func(a, b int) bool { return deps[a].Before(deps[b]) })
+		if len(deps) > 1 {
+			total := deps[len(deps)-1].Sub(deps[0])
+			mean := total / time.Duration(len(deps)-1)
+			f.TDep = time.Duration(float64(mean) * amp.IntervalFactor)
+		}
+		f.NDep = float64(len(deps)) * amp.Factor
+	}
+	return feats
+}
+
+// DepartureIntervals returns every consecutive within-slot departure
+// interval for a spot's waits (raw, unamplified); threshold selection uses
+// the shortest 20% of these.
+func DepartureIntervals(waits []Wait, grid SlotGrid) []time.Duration {
+	departures := make([][]time.Time, grid.Slots)
+	for _, w := range waits {
+		if j := grid.Index(w.End); j >= 0 {
+			departures[j] = append(departures[j], w.End)
+		}
+	}
+	var out []time.Duration
+	for _, deps := range departures {
+		sort.Slice(deps, func(a, b int) bool { return deps[a].Before(deps[b]) })
+		for i := 1; i < len(deps); i++ {
+			out = append(out, deps[i].Sub(deps[i-1]))
+		}
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"taxiqueue/internal/mdt"
+)
+
+// ExtractAllParallel is ExtractAll with the per-taxi PEA fanned out over a
+// worker pool. Results are identical to the sequential version (taxis are
+// independent; output is concatenated in ascending taxi-ID order).
+// workers <= 0 uses GOMAXPROCS.
+func ExtractAllParallel(byTaxi map[string]mdt.Trajectory, speedThresholdKmh float64, workers int) []Pickup {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ids := make([]string, 0, len(byTaxi))
+	for id := range byTaxi {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	if workers == 1 || len(ids) < 2*workers {
+		return ExtractAll(byTaxi, speedThresholdKmh)
+	}
+	perTaxi := make([][]Pickup, len(ids))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				perTaxi[i] = ExtractPickups(byTaxi[ids[i]], speedThresholdKmh)
+			}
+		}()
+	}
+	for i := range ids {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	total := 0
+	for _, ps := range perTaxi {
+		total += len(ps)
+	}
+	out := make([]Pickup, 0, total)
+	for _, ps := range perTaxi {
+		out = append(out, ps...)
+	}
+	return out
+}

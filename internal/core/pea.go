@@ -1,0 +1,142 @@
+// Package core implements the paper's queue analytic engine: the Pickup
+// Extraction Algorithm (Algorithm 1), queue-spot detection by density
+// clustering of pickup locations (§4.3), the Wait Time Extraction algorithm
+// (Algorithm 2), the per-slot 5-tuple pickup-event features (§5.2), and the
+// Queue Context Disambiguation algorithm (Algorithm 3), tied together by
+// the two-tier Engine (§3).
+package core
+
+import (
+	"sort"
+
+	"taxiqueue/internal/geo"
+	"taxiqueue/internal/mdt"
+)
+
+// DefaultSpeedThresholdKmh is the paper's PEA speed threshold η_sp
+// (§6.1.2: 10 km/h).
+const DefaultSpeedThresholdKmh = 10
+
+// Pickup is one slow pickup event extracted by PEA: the sub-trajectory Rᵏ
+// plus its central GPS location (the mean of the member coordinates, §4.3).
+type Pickup struct {
+	Sub      mdt.Trajectory
+	Centroid geo.Point
+}
+
+// ExtractPickups is the Pickup Extraction Algorithm (Algorithm 1). It scans
+// one taxi's time-ordered trajectory and returns the sub-trajectory set ω
+// of slow pickup events: runs of at least two consecutive records at or
+// below the speed threshold that
+//
+//   - contain no non-operational state (BREAK/OFFLINE/POWEROFF resets the
+//     scan),
+//   - do not start occupied and end unoccupied (a passenger-alight event),
+//   - do not start FREE and end ONCALL (the taxi left for a booking job
+//     elsewhere), and
+//   - change state at least once (filters traffic jams and red lights).
+//
+// The run is delimited by the next record above the threshold; a run still
+// open at the end of the trajectory is discarded, exactly as in the paper's
+// loop.
+func ExtractPickups(tr mdt.Trajectory, speedThresholdKmh float64) []Pickup {
+	if speedThresholdKmh <= 0 {
+		speedThresholdKmh = DefaultSpeedThresholdKmh
+	}
+	var out []Pickup
+	var run mdt.Trajectory // Rᵏ
+	sigma1 := false        // one low-speed record seen
+	sigma2 := false        // collecting (>= two consecutive low-speed records)
+	reset := func() {
+		run = run[:0]
+		sigma1, sigma2 = false, false
+	}
+	var prev mdt.Record
+	havePrev := false
+	for _, p := range tr {
+		if p.State.NonOperational() {
+			reset()
+			havePrev = false
+			continue
+		}
+		low := p.Speed <= speedThresholdKmh
+		switch {
+		case low && !sigma1:
+			sigma1 = true
+		case low && sigma1 && !sigma2:
+			// Second consecutive low-speed record: open the run with the
+			// previous record and this one (Algorithm 1 line 7).
+			if havePrev {
+				run = append(run, prev)
+			}
+			run = append(run, p)
+			sigma2 = true
+		case low && sigma2:
+			run = append(run, p)
+		case !low && sigma1 && !sigma2:
+			sigma1 = false
+		case !low && sigma2:
+			if pk, ok := commitRun(run); ok {
+				out = append(out, pk)
+			}
+			reset()
+		}
+		prev = p
+		havePrev = true
+	}
+	// A run still open at trajectory end is dropped (no terminating
+	// above-threshold record), matching the paper.
+	return out
+}
+
+// commitRun applies Algorithm 1's three state-transition constraints to a
+// completed low-speed run and, if it qualifies, copies it out with its
+// centroid.
+func commitRun(run mdt.Trajectory) (Pickup, bool) {
+	if len(run) < 2 {
+		return Pickup{}, false
+	}
+	start, end := run[0].State, run[len(run)-1].State
+	// Constraint 1: passenger-alight events (occupied -> unoccupied).
+	if start.Occupied() && end.Unoccupied() {
+		return Pickup{}, false
+	}
+	// Constraint 2: the taxi left for a booking job at another location.
+	if start == mdt.Free && end == mdt.OnCall {
+		return Pickup{}, false
+	}
+	// Constraint 3: at least one state transition (filters jams/red lights).
+	changed := false
+	for i := 1; i < len(run); i++ {
+		if run[i].State != run[i-1].State {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return Pickup{}, false
+	}
+	sub := make(mdt.Trajectory, len(run))
+	copy(sub, run)
+	pts := make([]geo.Point, len(sub))
+	for i, r := range sub {
+		pts[i] = r.Pos
+	}
+	return Pickup{Sub: sub, Centroid: geo.Centroid(pts)}, true
+}
+
+// ExtractAll runs PEA over every taxi's trajectory and returns the combined
+// multi-taxi pickup set W (Definition 4), flattened in ascending taxi-ID
+// order so downstream clustering is deterministic.
+func ExtractAll(byTaxi map[string]mdt.Trajectory, speedThresholdKmh float64) []Pickup {
+	ids := make([]string, 0, len(byTaxi))
+	for id := range byTaxi {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var out []Pickup
+	for _, id := range ids {
+		out = append(out, ExtractPickups(byTaxi[id], speedThresholdKmh)...)
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"taxiqueue/internal/citymap"
+	"taxiqueue/internal/cluster"
+	"taxiqueue/internal/geo"
+	"taxiqueue/internal/spatial"
+)
+
+// QueueSpot is one detected queue location: the centroid of a DBSCAN
+// cluster of pickup-event locations (§4.3).
+type QueueSpot struct {
+	// Pos is the cluster centroid.
+	Pos geo.Point
+	// Zone is the Fig. 5 analysis zone containing the spot.
+	Zone citymap.Zone
+	// PickupCount is the number of pickup events in the cluster.
+	PickupCount int
+}
+
+// String implements fmt.Stringer.
+func (q QueueSpot) String() string {
+	return fmt.Sprintf("spot%v %s (%d pickups)", q.Pos, q.Zone, q.PickupCount)
+}
+
+// DetectorConfig parameterizes queue-spot detection.
+type DetectorConfig struct {
+	// Cluster holds the DBSCAN ε_d/p_d pair; the paper settles on 15 m and
+	// 50 points for daily datasets (§6.1.2).
+	Cluster cluster.Params
+	// ByZone splits the island into the four Fig. 5 zones and clusters
+	// each independently — the paper's mitigation for DBSCAN's O(n²) cost.
+	ByZone bool
+}
+
+// DefaultDetectorConfig returns the paper's settings.
+func DefaultDetectorConfig() DetectorConfig {
+	return DetectorConfig{
+		Cluster: cluster.Params{EpsMeters: 15, MinPoints: 50},
+		ByZone:  true,
+	}
+}
+
+// DetectSpots clusters the pickup centroids and returns the queue spots,
+// ordered by descending pickup count (ties broken by position for
+// determinism).
+func DetectSpots(pickups []Pickup, cfg DetectorConfig) ([]QueueSpot, error) {
+	pts := make([]geo.Point, len(pickups))
+	for i, p := range pickups {
+		pts[i] = p.Centroid
+	}
+	var spots []QueueSpot
+	if cfg.ByZone {
+		// Partition the GPS location set C into the four zone subsets and
+		// run DBSCAN on each (§6.1.2).
+		zonePts := make([][]geo.Point, citymap.NumZones)
+		for _, p := range pts {
+			z := citymap.ZoneOf(p)
+			zonePts[z] = append(zonePts[z], p)
+		}
+		for z := 0; z < citymap.NumZones; z++ {
+			zs, err := clusterZone(zonePts[z], citymap.Zone(z), cfg.Cluster)
+			if err != nil {
+				return nil, err
+			}
+			spots = append(spots, zs...)
+		}
+	} else {
+		zs, err := clusterZone(pts, 0, cfg.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		// Re-derive each spot's true zone when clustering island-wide.
+		for i := range zs {
+			zs[i].Zone = citymap.ZoneOf(zs[i].Pos)
+		}
+		spots = zs
+	}
+	sort.Slice(spots, func(i, j int) bool {
+		if spots[i].PickupCount != spots[j].PickupCount {
+			return spots[i].PickupCount > spots[j].PickupCount
+		}
+		if spots[i].Pos.Lat != spots[j].Pos.Lat {
+			return spots[i].Pos.Lat < spots[j].Pos.Lat
+		}
+		return spots[i].Pos.Lon < spots[j].Pos.Lon
+	})
+	return spots, nil
+}
+
+func clusterZone(pts []geo.Point, zone citymap.Zone, p cluster.Params) ([]QueueSpot, error) {
+	if len(pts) == 0 {
+		return nil, nil
+	}
+	res, err := cluster.DBSCAN(pts, p)
+	if err != nil {
+		return nil, err
+	}
+	cents := res.Centroids(pts)
+	sizes := res.ClusterSizes()
+	spots := make([]QueueSpot, len(cents))
+	for i := range cents {
+		spots[i] = QueueSpot{Pos: cents[i], Zone: zone, PickupCount: sizes[i]}
+	}
+	return spots, nil
+}
+
+// AssignPickups builds the per-spot pickup-event sets W(r): each pickup is
+// assigned to the nearest detected spot within maxMeters of its centroid;
+// pickups with no spot in range are dropped (they are scatter noise).
+// The result is indexed like spots.
+func AssignPickups(pickups []Pickup, spots []QueueSpot, maxMeters float64) [][]Pickup {
+	out := make([][]Pickup, len(spots))
+	if len(spots) == 0 {
+		return out
+	}
+	pts := make([]geo.Point, len(spots))
+	for i, s := range spots {
+		pts[i] = s.Pos
+	}
+	idx := spatial.NewGrid(pts, maxMeters)
+	var buf []int
+	for _, p := range pickups {
+		buf = idx.Within(p.Centroid, maxMeters, buf[:0])
+		best := -1
+		bestD := maxMeters + 1
+		for _, id := range buf {
+			if d := geo.Equirect(p.Centroid, pts[id]); d < bestD {
+				best, bestD = id, d
+			}
+		}
+		if best >= 0 {
+			out[best] = append(out[best], p)
+		}
+	}
+	return out
+}
+
+// SpotPositions extracts the coordinate set of a spot list (the input to
+// the Table 5 Hausdorff comparison).
+func SpotPositions(spots []QueueSpot) []geo.Point {
+	pts := make([]geo.Point, len(spots))
+	for i, s := range spots {
+		pts[i] = s.Pos
+	}
+	return pts
+}

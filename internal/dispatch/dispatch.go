@@ -1,0 +1,139 @@
+// Package dispatch models the taxi operator's booking backend described in
+// §2.2 and §6.2.2: booking requests are dispatched to FREE/STC taxis inside
+// a dispatching circle (radius 1 km in the paper) centered at the pickup
+// location; a booking with no available taxi inside the circle is recorded
+// as a failed booking. The failed-booking ledger is the validation data
+// source behind Table 8.
+package dispatch
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"taxiqueue/internal/geo"
+)
+
+// DefaultRadiusMeters is the paper's dispatching-circle radius (§6.2.2).
+const DefaultRadiusMeters = 1000
+
+// Booking is one booking request processed by the dispatcher.
+type Booking struct {
+	Time    time.Time
+	Pickup  geo.Point
+	SpotKey string // opaque caller key (e.g. the queue-spot name); may be ""
+	Failed  bool
+}
+
+// Dispatcher decides booking outcomes and keeps the ledger. It is safe for
+// concurrent use.
+type Dispatcher struct {
+	// RadiusMeters is the dispatching-circle radius; DefaultRadiusMeters
+	// when zero.
+	RadiusMeters float64
+
+	mu     sync.Mutex
+	ledger []Booking
+}
+
+// Radius returns the effective dispatching radius.
+func (d *Dispatcher) Radius() float64 {
+	if d.RadiusMeters <= 0 {
+		return DefaultRadiusMeters
+	}
+	return d.RadiusMeters
+}
+
+// Request records a booking attempt at the given pickup location.
+// availableInCircle is the number of FREE/STC taxis the caller found inside
+// the dispatching circle; the booking succeeds iff it is positive. Request
+// returns true on success.
+func (d *Dispatcher) Request(now time.Time, spotKey string, pickup geo.Point, availableInCircle int) bool {
+	b := Booking{Time: now, Pickup: pickup, SpotKey: spotKey, Failed: availableInCircle <= 0}
+	d.mu.Lock()
+	d.ledger = append(d.ledger, b)
+	d.mu.Unlock()
+	return !b.Failed
+}
+
+// Ledger returns a copy of all bookings in arrival order.
+func (d *Dispatcher) Ledger() []Booking {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]Booking(nil), d.ledger...)
+}
+
+// FailedCount returns the number of failed bookings with SpotKey key and
+// time in [from, to).
+func (d *Dispatcher) FailedCount(key string, from, to time.Time) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, b := range d.ledger {
+		if b.Failed && b.SpotKey == key && !b.Time.Before(from) && b.Time.Before(to) {
+			n++
+		}
+	}
+	return n
+}
+
+// FailedNear returns the number of failed bookings within radiusMeters of
+// pos with time in [from, to). This is how the engine joins failed bookings
+// to detected queue spots, which have no SpotKey.
+func (d *Dispatcher) FailedNear(pos geo.Point, radiusMeters float64, from, to time.Time) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, b := range d.ledger {
+		if b.Failed && !b.Time.Before(from) && b.Time.Before(to) &&
+			geo.Equirect(pos, b.Pickup) <= radiusMeters {
+			n++
+		}
+	}
+	return n
+}
+
+// Totals returns the total and failed booking counts.
+func (d *Dispatcher) Totals() (total, failed int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, b := range d.ledger {
+		if b.Failed {
+			failed++
+		}
+	}
+	return len(d.ledger), failed
+}
+
+// FailureRateByHour returns the 24-element failure-rate histogram
+// (failed/total per hour of day); hours with no bookings report 0.
+func (d *Dispatcher) FailureRateByHour() [24]float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var failed, total [24]int
+	for _, b := range d.ledger {
+		h := b.Time.Hour()
+		total[h]++
+		if b.Failed {
+			failed[h]++
+		}
+	}
+	var out [24]float64
+	for h := range out {
+		if total[h] > 0 {
+			out[h] = float64(failed[h]) / float64(total[h])
+		}
+	}
+	return out
+}
+
+// Sorted reports whether the ledger is in non-decreasing time order
+// (it always is when callers request in simulation order; exposed for
+// invariant tests).
+func (d *Dispatcher) Sorted() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return sort.SliceIsSorted(d.ledger, func(i, j int) bool {
+		return d.ledger[i].Time.Before(d.ledger[j].Time)
+	})
+}

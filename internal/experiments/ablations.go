@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"taxiqueue/internal/citymap"
+	"taxiqueue/internal/clean"
+	"taxiqueue/internal/core"
+	"taxiqueue/internal/geo"
+	"taxiqueue/internal/mdt"
+	"taxiqueue/internal/report"
+	"taxiqueue/internal/sim"
+)
+
+// AblationSpeedThreshold sweeps PEA's η_sp (the paper fixes 10 km/h):
+// extracted pickup events and detected spots per threshold. Too low a
+// threshold misses crawling pickups; too high admits moving traffic and
+// blurs the clusters. Runs on its own compact day so the suite's cached
+// days stay untouched.
+func (s *Suite) AblationSpeedThreshold() (map[float64][2]int, string, error) {
+	scale := s.Cfg.CityScale
+	if scale > 0.25 {
+		scale = 0.25 // ablation detail does not need the full city
+	}
+	out := sim.Run(sim.Config{Seed: s.Cfg.Seed + 5555,
+		City: citymap.Generate(s.Cfg.Seed+5555, scale), InjectFaults: true})
+	records, _ := clean.Clean(out.Records, clean.Config{ValidFrame: citymap.Island})
+	byTaxi := mdt.SplitByTaxi(records)
+
+	res := map[float64][2]int{}
+	t := report.NewTable("Ablation: PEA speed threshold η_sp (paper: 10 km/h)",
+		"η_sp", "Pickup events", "Detected spots")
+	for _, eta := range []float64{5, 10, 15, 20} {
+		pickups := core.ExtractAllParallel(byTaxi, eta, 0)
+		cfg := DefaultDetector(s)
+		spots, err := core.DetectSpots(pickups, cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		res[eta] = [2]int{len(pickups), len(spots)}
+		t.AddRow(fmt.Sprintf("%.0f km/h", eta), fmt.Sprint(len(pickups)), fmt.Sprint(len(spots)))
+	}
+	return res, t.String(), nil
+}
+
+// DefaultDetector builds the suite's detector config.
+func DefaultDetector(s *Suite) core.DetectorConfig {
+	cfg := core.DefaultDetectorConfig()
+	cfg.Cluster.EpsMeters = s.Cfg.Eps
+	cfg.Cluster.MinPoints = s.Cfg.MinPts
+	return cfg
+}
+
+// AblationAmplification re-classifies Monday's spots with and without the
+// §6.2.1 coverage amplification. Without it, the saturation bars τ_arr and
+// τ_dep are unreachable from a 60% feed and C1 effectively disappears — the
+// reason the paper's correction matters.
+func (s *Suite) AblationAmplification() (map[string]map[core.QueueType]float64, string, error) {
+	d, err := s.Day(time.Monday)
+	if err != nil {
+		return nil, "", err
+	}
+	sel := s.contextSpotSelection(d.Result, s.Cfg.ContextSpots)
+	classifyWith := func(amp core.Amplification) map[core.QueueType]float64 {
+		var sets [][]core.QueueType
+		for _, i := range sel {
+			sa := d.Result.Spots[i]
+			feats := core.ComputeFeatures(sa.Waits, d.Grid, amp)
+			sets = append(sets, core.Classify(feats, sa.Thresholds))
+		}
+		return core.Proportions(sets...)
+	}
+	withAmp := classifyWith(core.PaperAmplification)
+	without := classifyWith(core.NoAmplification)
+	res := map[string]map[core.QueueType]float64{"amplified": withAmp, "raw": without}
+
+	t := report.NewTable("Ablation: §6.2.1 coverage amplification (60% feed)",
+		"Queue type", "With amplification", "Without")
+	for _, q := range queueTypeOrder {
+		t.AddRow(q.String(), report.Pct(withAmp[q]), report.Pct(without[q]))
+	}
+	return res, t.String(), nil
+}
+
+// AblationZoning compares spot detection with the Fig. 5 four-zone
+// partition against island-wide clustering: results should agree almost
+// everywhere (the partition exists for DBSCAN's O(n²) cost, not quality).
+func (s *Suite) AblationZoning() (map[string]int, string, error) {
+	d, err := s.Day(time.Monday)
+	if err != nil {
+		return nil, "", err
+	}
+	cfgZoned := DefaultDetector(s)
+	cfgZoned.ByZone = true
+	cfgFlat := DefaultDetector(s)
+	cfgFlat.ByZone = false
+	zoned, err := core.DetectSpots(d.Result.Pickups, cfgZoned)
+	if err != nil {
+		return nil, "", err
+	}
+	flat, err := core.DetectSpots(d.Result.Pickups, cfgFlat)
+	if err != nil {
+		return nil, "", err
+	}
+	// Match spots across the two runs within 20 m.
+	matched := 0
+	for _, a := range zoned {
+		for _, b := range flat {
+			if geo.Equirect(a.Pos, b.Pos) < 20 {
+				matched++
+				break
+			}
+		}
+	}
+	res := map[string]int{"zoned": len(zoned), "flat": len(flat), "matched": matched}
+	t := report.NewTable("Ablation: four-zone partition vs island-wide DBSCAN",
+		"Variant", "Spots")
+	t.AddRow("four zones (paper)", fmt.Sprint(len(zoned)))
+	t.AddRow("island-wide", fmt.Sprint(len(flat)))
+	t.AddRow("matched within 20 m", fmt.Sprint(matched))
+	return res, t.String(), nil
+}

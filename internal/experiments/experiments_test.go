@@ -1,0 +1,468 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"taxiqueue/internal/citymap"
+	"taxiqueue/internal/core"
+	"taxiqueue/internal/geo"
+)
+
+// testSuite is shared across tests: a fifth-scale city keeps the full
+// 7-day × all-experiments sweep inside a sensible test budget. MinPts
+// scales with nothing (per-spot volumes are city-scale-invariant), so the
+// paper's DBSCAN parameters stay as-is.
+var testSuite = NewSuite(Config{Seed: 77, CityScale: 0.2})
+
+func TestCleaningExperiment(t *testing.T) {
+	st, rendered, err := testSuite.Cleaning()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rate() < 0.01 || st.Rate() > 0.05 {
+		t.Errorf("cleaning rate %.3f outside the paper's ballpark (~0.028)", st.Rate())
+	}
+	if !strings.Contains(rendered, "GPS outliers") {
+		t.Error("rendered cleaning table incomplete")
+	}
+}
+
+func TestFig6Experiment(t *testing.T) {
+	cells, rendered, err := testSuite.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 16 {
+		t.Fatalf("sweep has %d cells, want 16", len(cells))
+	}
+	// Fig. 6 shape: tiny eps (5 m) or huge minPts (150) find fewer spots
+	// than the production pair (15 m, 50).
+	get := func(eps float64, mp int) int {
+		for _, c := range cells {
+			if c.Params.EpsMeters == eps && c.Params.MinPoints == mp {
+				return c.NumClusters
+			}
+		}
+		t.Fatalf("cell (%g, %d) missing", eps, mp)
+		return 0
+	}
+	prod := get(15, 50)
+	if prod == 0 {
+		t.Fatal("production parameters found no spots")
+	}
+	if get(5, 50) >= prod {
+		t.Errorf("eps=5 found %d spots, not below production %d", get(5, 50), prod)
+	}
+	if get(15, 150) >= prod {
+		t.Errorf("minPts=150 found %d spots, not below production %d", get(15, 150), prod)
+	}
+	if !strings.Contains(rendered, "eps") {
+		t.Error("rendered Fig. 6 incomplete")
+	}
+}
+
+func TestFig7Experiment(t *testing.T) {
+	r, rendered, err := testSuite.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalSpots == 0 {
+		t.Fatal("no spots detected")
+	}
+	if r.CBDStands == 0 {
+		t.Fatal("no CBD stands in city")
+	}
+	// Detection rate of official stands should be near-perfect (paper:
+	// 30/31) and location error GPS-noise scale (paper: 7.6 m).
+	rate := float64(r.StandsDetected) / float64(r.CBDStands)
+	if rate < 0.8 {
+		t.Errorf("stand detection rate %.2f, want >= 0.8", rate)
+	}
+	if r.MeanLocationError <= 0 || r.MeanLocationError > 12 {
+		t.Errorf("mean location error %.1f m, want (0, 12]", r.MeanLocationError)
+	}
+	if !strings.Contains(rendered, "stands detected") {
+		t.Error("rendered Fig. 7 incomplete")
+	}
+}
+
+func TestTable4Experiment(t *testing.T) {
+	shares, rendered, err := testSuite.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MRT & Bus must dominate (paper: 48.3%).
+	mrt := shares[citymap.MRTBus]
+	for c, v := range shares {
+		if c != citymap.MRTBus && v > mrt {
+			t.Errorf("category %v share %.2f exceeds MRT&Bus %.2f", c, v, mrt)
+		}
+	}
+	sum := 0.0
+	for _, v := range shares {
+		sum += v
+	}
+	if sum > 1.0001 {
+		t.Errorf("category shares sum to %.3f > 1", sum)
+	}
+	if !strings.Contains(rendered, "MRT") {
+		t.Error("rendered Table 4 incomplete")
+	}
+}
+
+func TestFig8Experiment(t *testing.T) {
+	counts, rendered, err := testSuite.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Central has the most spots every day (paper Fig. 8).
+	for i := range counts {
+		for z := 1; z < citymap.NumZones; z++ {
+			if counts[i][z] > counts[i][citymap.Central] {
+				t.Errorf("%s: zone %v (%d) beats Central (%d)",
+					DayNames[i], citymap.Zone(z), counts[i][z], counts[i][citymap.Central])
+			}
+		}
+	}
+	if !strings.Contains(rendered, "Central") {
+		t.Error("rendered Fig. 8 incomplete")
+	}
+}
+
+func TestTable5Experiment(t *testing.T) {
+	m, rendered, err := testSuite.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 7 {
+		t.Fatalf("matrix has %d rows", len(m))
+	}
+	// Diagonal zero; weekday-weekday distances smaller than the largest
+	// weekday-Sunday distance (Table 5 pattern).
+	var wdMax, crossMax float64
+	for i := 0; i < 7; i++ {
+		if m[i][i] != 0 {
+			t.Errorf("diagonal [%d][%d] = %g", i, i, m[i][i])
+		}
+		for j := 0; j < 7; j++ {
+			if i == j {
+				continue
+			}
+			if m[i][j] <= 0 {
+				t.Errorf("off-diagonal [%d][%d] = %g, want > 0", i, j, m[i][j])
+			}
+			if i < 5 && j < 5 && m[i][j] > wdMax {
+				wdMax = m[i][j]
+			}
+			if (i == 6) != (j == 6) && m[i][j] > crossMax {
+				crossMax = m[i][j]
+			}
+		}
+	}
+	// Spot sets must be stable: tens of meters, not kilometers.
+	if wdMax > 500 {
+		t.Errorf("weekday-to-weekday MHD %.0f m: spot sets unstable", wdMax)
+	}
+	if !strings.Contains(rendered, "Mon") {
+		t.Error("rendered Table 5 incomplete")
+	}
+}
+
+func TestTable6Experiment(t *testing.T) {
+	r, rendered, err := testSuite.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for z := 0; z < citymap.NumZones; z++ {
+		if r.Weekday[z] <= 0 {
+			t.Errorf("zone %v weekday average is zero", citymap.Zone(z))
+		}
+	}
+	// East (airport) has the highest weekday average (Table 6 pattern).
+	for z := 0; z < citymap.NumZones-1; z++ {
+		if r.Weekday[z] > r.Weekday[citymap.East] {
+			t.Errorf("zone %v weekday avg %.0f beats East %.0f",
+				citymap.Zone(z), r.Weekday[z], r.Weekday[citymap.East])
+		}
+	}
+	if !strings.Contains(rendered, "Working day") {
+		t.Error("rendered Table 6 incomplete")
+	}
+}
+
+func TestTable7Experiment(t *testing.T) {
+	p, rendered, err := testSuite.Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("proportions sum to %g", sum)
+	}
+	for _, q := range []core.QueueType{core.C1, core.C2, core.C3, core.C4} {
+		if p[q] == 0 {
+			t.Errorf("queue type %v never identified", q)
+		}
+	}
+	if !strings.Contains(rendered, "C1") {
+		t.Error("rendered Table 7 incomplete")
+	}
+}
+
+func TestFig9Experiment(t *testing.T) {
+	days, rendered, err := testSuite.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 9 pattern: C4 share rises on Sunday vs the weekday average.
+	wdC4 := 0.0
+	for i := 0; i < 5; i++ {
+		wdC4 += days[i][core.C4]
+	}
+	wdC4 /= 5
+	if days[6][core.C4] <= wdC4 {
+		t.Errorf("Sunday C4 share %.3f not above weekday average %.3f",
+			days[6][core.C4], wdC4)
+	}
+	if !strings.Contains(rendered, "Sun") {
+		t.Error("rendered Fig. 9 incomplete")
+	}
+}
+
+func TestTable8Experiment(t *testing.T) {
+	r, rendered, err := testSuite.Table8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Taxi-queue contexts see more monitored taxis than non-queue ones.
+	if r.AvgTaxis[core.C1] <= r.AvgTaxis[core.C4] {
+		t.Errorf("monitor avg taxis: C1 %.2f not above C4 %.2f",
+			r.AvgTaxis[core.C1], r.AvgTaxis[core.C4])
+	}
+	if r.AvgTaxis[core.C3] <= r.AvgTaxis[core.C4] {
+		t.Errorf("monitor avg taxis: C3 %.2f not above C4 %.2f",
+			r.AvgTaxis[core.C3], r.AvgTaxis[core.C4])
+	}
+	// Failed bookings concentrate in C2 (paper: 4.29 vs <1 elsewhere).
+	for _, q := range []core.QueueType{core.C1, core.C3} {
+		if r.AvgFailures[core.C2] <= r.AvgFailures[q] {
+			t.Errorf("failed bookings: C2 %.2f not above %v %.2f",
+				r.AvgFailures[core.C2], q, r.AvgFailures[q])
+		}
+	}
+	if !strings.Contains(rendered, "Avg taxis") {
+		t.Error("rendered Table 8 incomplete")
+	}
+}
+
+func TestTable9Experiment(t *testing.T) {
+	ranges, rendered, err := testSuite.Table9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranges) < 3 {
+		t.Fatalf("timeline has only %d ranges", len(ranges))
+	}
+	// Ranges must tile the day.
+	if !ranges[0].From.Equal(startFor(time.Sunday)) {
+		t.Errorf("timeline starts at %v", ranges[0].From)
+	}
+	for i := 1; i < len(ranges); i++ {
+		if !ranges[i].From.Equal(ranges[i-1].To) {
+			t.Errorf("gap between ranges %d and %d", i-1, i)
+		}
+		if ranges[i].Label == ranges[i-1].Label {
+			t.Errorf("adjacent ranges %d and %d share label %v", i-1, i, ranges[i].Label)
+		}
+	}
+	if !strings.Contains(rendered, "Lucky Plaza") {
+		t.Error("rendered Table 9 incomplete")
+	}
+}
+
+func TestDriverBehaviorExperiment(t *testing.T) {
+	counts, rendered, err := testSuite.DriverBehavior()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no BUSY-state pickups found at spots")
+	}
+	// The §7.2 finding: cherry-picking happens when passengers queue.
+	paxQueue := counts[core.C1] + counts[core.C2]
+	noPaxQueue := counts[core.C3] + counts[core.C4]
+	if paxQueue <= noPaxQueue {
+		t.Errorf("BUSY pickups: C1+C2 %d not above C3+C4 %d", paxQueue, noPaxQueue)
+	}
+	if !strings.Contains(rendered, "BUSY") {
+		t.Error("rendered driver-behavior table incomplete")
+	}
+}
+
+func TestTransitionsExperiment(t *testing.T) {
+	rep, rendered, err := testSuite.Transitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Days == 0 {
+		t.Fatal("no days aggregated")
+	}
+	pers := rep.Persistence()
+	// Contexts are sticky: every observed context should persist with
+	// probability well above a uniform 0.2.
+	for _, q := range []core.QueueType{core.C4} {
+		if pers[q] < 0.3 {
+			t.Errorf("%v persistence = %.2f, suspiciously low", q, pers[q])
+		}
+	}
+	if !strings.Contains(rendered, "typical day") {
+		t.Error("rendered transitions report incomplete")
+	}
+}
+
+func TestAblationSpeedThreshold(t *testing.T) {
+	res, rendered, err := testSuite.AblationSpeedThreshold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pickup counts grow monotonically with the threshold (a superset of
+	// records qualifies).
+	if res[5][0] >= res[10][0] || res[10][0] >= res[20][0] {
+		t.Errorf("pickup counts not increasing with η_sp: %v", res)
+	}
+	if res[10][1] == 0 {
+		t.Error("production threshold found no spots")
+	}
+	if !strings.Contains(rendered, "km/h") {
+		t.Error("rendered speed-threshold ablation incomplete")
+	}
+}
+
+func TestAblationAmplification(t *testing.T) {
+	res, rendered, err := testSuite.AblationAmplification()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without amplification the saturation-gated contexts collapse: C1
+	// must shrink dramatically.
+	if res["raw"][core.C1] >= res["amplified"][core.C1]/2 {
+		t.Errorf("C1 without amplification (%.3f) not far below amplified (%.3f)",
+			res["raw"][core.C1], res["amplified"][core.C1])
+	}
+	if !strings.Contains(rendered, "amplification") {
+		t.Error("rendered amplification ablation incomplete")
+	}
+}
+
+func TestAblationZoning(t *testing.T) {
+	res, rendered, err := testSuite.AblationZoning()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["zoned"] == 0 || res["flat"] == 0 {
+		t.Fatalf("no spots: %v", res)
+	}
+	// The partition is a performance device: results agree almost
+	// everywhere (spots straddling a zone border may differ).
+	minSpots := res["zoned"]
+	if res["flat"] < minSpots {
+		minSpots = res["flat"]
+	}
+	if res["matched"] < minSpots*9/10 {
+		t.Errorf("only %d of %d spots matched between zoned and flat clustering",
+			res["matched"], minSpots)
+	}
+	if !strings.Contains(rendered, "island-wide") {
+		t.Error("rendered zoning ablation incomplete")
+	}
+}
+
+func TestRegistryExperiment(t *testing.T) {
+	regs, rendered, err := testSuite.Registry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wk := regs[citymap.Weekday]
+	we := regs[citymap.Weekend]
+	if len(core.Stable(wk)) == 0 || len(core.Stable(we)) == 0 {
+		t.Fatal("empty stable registries")
+	}
+	// The weekend-only leisure park: in the weekend registry, absent from
+	// the weekday registry.
+	park, ok := testSuite.City.Find("West Leisure Park")
+	if !ok {
+		t.Fatal("park missing from city")
+	}
+	inRegistry := func(reg []core.RegistrySpot) bool {
+		for _, s := range reg {
+			if geo.Equirect(s.Pos, park.Pos) < 30 {
+				return true
+			}
+		}
+		return false
+	}
+	if inRegistry(wk) {
+		t.Error("weekend-only park present in the weekday registry")
+	}
+	if !inRegistry(we) {
+		t.Error("weekend-only park missing from the weekend registry")
+	}
+	if !strings.Contains(rendered, "West Leisure Park") {
+		t.Error("rendered registry report incomplete")
+	}
+}
+
+func TestAccuracyExperiment(t *testing.T) {
+	r, rendered, err := testSuite.Accuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Labeled < 100 {
+		t.Fatalf("only %d labeled slots compared", r.Labeled)
+	}
+	// The binary sub-questions must be answered much better than chance.
+	if r.TaxiQueueAgreement < 0.6 {
+		t.Errorf("taxi-queue agreement %.2f below 0.6", r.TaxiQueueAgreement)
+	}
+	if r.PaxQueueAgreement < 0.6 {
+		t.Errorf("passenger-queue agreement %.2f below 0.6", r.PaxQueueAgreement)
+	}
+	if r.Agreement < 0.4 {
+		t.Errorf("exact agreement %.2f below 0.4", r.Agreement)
+	}
+	if !strings.Contains(rendered, "Confusion") {
+		t.Error("rendered accuracy report incomplete")
+	}
+}
+
+func TestSuiteDayCaching(t *testing.T) {
+	d1, err := testSuite.Day(time.Monday)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := testSuite.Day(time.Monday)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatal("Day did not cache")
+	}
+}
+
+func TestStartFor(t *testing.T) {
+	for _, wd := range Weekdays {
+		if got := startFor(wd).Weekday(); got != wd {
+			t.Errorf("startFor(%v).Weekday() = %v", wd, got)
+		}
+	}
+}

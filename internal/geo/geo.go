@@ -1,0 +1,240 @@
+// Package geo provides the geographic primitives used throughout the queue
+// detection system: WGS-84 points, great-circle and fast equirectangular
+// distances, bearings, destination points, bounding boxes and polygons.
+//
+// All distances are in meters, all angles in degrees unless stated
+// otherwise. Latitudes are positive north, longitudes positive east.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusMeters is the mean Earth radius used for all spherical
+// computations. The value matches the IUGG mean radius.
+const EarthRadiusMeters = 6371008.8
+
+// Point is a WGS-84 coordinate.
+type Point struct {
+	Lat float64 // degrees, [-90, 90]
+	Lon float64 // degrees, [-180, 180]
+}
+
+// String implements fmt.Stringer using 6 decimal places (~0.1 m resolution).
+func (p Point) String() string {
+	return fmt.Sprintf("(%.6f,%.6f)", p.Lat, p.Lon)
+}
+
+// Valid reports whether p lies within the legal WGS-84 coordinate ranges.
+func (p Point) Valid() bool {
+	return p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon <= 180 &&
+		!math.IsNaN(p.Lat) && !math.IsNaN(p.Lon)
+}
+
+func radians(deg float64) float64 { return deg * math.Pi / 180 }
+func degrees(rad float64) float64 { return rad * 180 / math.Pi }
+
+// Haversine returns the great-circle distance between a and b in meters.
+func Haversine(a, b Point) float64 {
+	lat1, lon1 := radians(a.Lat), radians(a.Lon)
+	lat2, lon2 := radians(b.Lat), radians(b.Lon)
+	dLat := lat2 - lat1
+	dLon := lon2 - lon1
+	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * EarthRadiusMeters * math.Asin(math.Min(1, math.Sqrt(s)))
+}
+
+// Equirect returns the equirectangular-approximation distance between a and
+// b in meters. It is accurate to well under 0.1% at city scale and several
+// times faster than Haversine; DBSCAN and the spatial indexes use it.
+func Equirect(a, b Point) float64 {
+	x := radians(b.Lon-a.Lon) * math.Cos(radians((a.Lat+b.Lat)/2))
+	y := radians(b.Lat - a.Lat)
+	return EarthRadiusMeters * math.Hypot(x, y)
+}
+
+// Bearing returns the initial great-circle bearing from a to b in degrees
+// clockwise from north, in [0, 360).
+func Bearing(a, b Point) float64 {
+	lat1, lat2 := radians(a.Lat), radians(b.Lat)
+	dLon := radians(b.Lon - a.Lon)
+	y := math.Sin(dLon) * math.Cos(lat2)
+	x := math.Cos(lat1)*math.Sin(lat2) - math.Sin(lat1)*math.Cos(lat2)*math.Cos(dLon)
+	return math.Mod(degrees(math.Atan2(y, x))+360, 360)
+}
+
+// Destination returns the point reached by travelling distanceMeters from p
+// along the given initial bearing (degrees clockwise from north).
+func Destination(p Point, bearingDeg, distanceMeters float64) Point {
+	lat1 := radians(p.Lat)
+	lon1 := radians(p.Lon)
+	brng := radians(bearingDeg)
+	d := distanceMeters / EarthRadiusMeters
+	lat2 := math.Asin(math.Sin(lat1)*math.Cos(d) + math.Cos(lat1)*math.Sin(d)*math.Cos(brng))
+	lon2 := lon1 + math.Atan2(math.Sin(brng)*math.Sin(d)*math.Cos(lat1),
+		math.Cos(d)-math.Sin(lat1)*math.Sin(lat2))
+	return Point{Lat: degrees(lat2), Lon: math.Mod(degrees(lon2)+540, 360) - 180}
+}
+
+// Offset returns p displaced by the given east and north distances in
+// meters, using the local tangent-plane approximation. It is the inverse
+// convenience of LocalXY and is exact enough for city-scale work.
+func Offset(p Point, eastMeters, northMeters float64) Point {
+	dLat := degrees(northMeters / EarthRadiusMeters)
+	dLon := degrees(eastMeters / (EarthRadiusMeters * math.Cos(radians(p.Lat))))
+	return Point{Lat: p.Lat + dLat, Lon: p.Lon + dLon}
+}
+
+// LocalXY projects p into a local tangent plane centered at origin and
+// returns (east, north) in meters. Distances between projected points match
+// Equirect distances.
+func LocalXY(origin, p Point) (x, y float64) {
+	x = radians(p.Lon-origin.Lon) * math.Cos(radians(origin.Lat)) * EarthRadiusMeters
+	y = radians(p.Lat-origin.Lat) * EarthRadiusMeters
+	return x, y
+}
+
+// Centroid returns the arithmetic-mean coordinate of pts. For city-scale
+// clusters the arithmetic mean of lat/lon is the estimator the paper uses
+// when it "computes a central GPS location by averaging" (§4.3).
+// It returns the zero Point when pts is empty.
+func Centroid(pts []Point) Point {
+	if len(pts) == 0 {
+		return Point{}
+	}
+	var lat, lon float64
+	for _, p := range pts {
+		lat += p.Lat
+		lon += p.Lon
+	}
+	n := float64(len(pts))
+	return Point{Lat: lat / n, Lon: lon / n}
+}
+
+// Rect is a latitude/longitude axis-aligned bounding box.
+// MinLat <= MaxLat and MinLon <= MaxLon; rectangles never cross the
+// antimeridian (Singapore-scale deployments do not need that).
+type Rect struct {
+	MinLat, MinLon, MaxLat, MaxLon float64
+}
+
+// NewRect returns the rectangle spanned by two corner points in any order.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		MinLat: math.Min(a.Lat, b.Lat),
+		MinLon: math.Min(a.Lon, b.Lon),
+		MaxLat: math.Max(a.Lat, b.Lat),
+		MaxLon: math.Max(a.Lon, b.Lon),
+	}
+}
+
+// Contains reports whether p lies inside r (inclusive of edges).
+func (r Rect) Contains(p Point) bool {
+	return p.Lat >= r.MinLat && p.Lat <= r.MaxLat &&
+		p.Lon >= r.MinLon && p.Lon <= r.MaxLon
+}
+
+// Intersects reports whether r and o overlap (sharing an edge counts).
+func (r Rect) Intersects(o Rect) bool {
+	return r.MinLat <= o.MaxLat && r.MaxLat >= o.MinLat &&
+		r.MinLon <= o.MaxLon && r.MaxLon >= o.MinLon
+}
+
+// Center returns the midpoint of r.
+func (r Rect) Center() Point {
+	return Point{Lat: (r.MinLat + r.MaxLat) / 2, Lon: (r.MinLon + r.MaxLon) / 2}
+}
+
+// Expand grows r by the given number of meters on every side.
+func (r Rect) Expand(meters float64) Rect {
+	dLat := degrees(meters / EarthRadiusMeters)
+	// Use the latitude farthest from the equator for a conservative
+	// longitude expansion so the expanded rect always covers the radius.
+	lat := math.Max(math.Abs(r.MinLat), math.Abs(r.MaxLat))
+	dLon := degrees(meters / (EarthRadiusMeters * math.Cos(radians(lat))))
+	return Rect{
+		MinLat: r.MinLat - dLat, MinLon: r.MinLon - dLon,
+		MaxLat: r.MaxLat + dLat, MaxLon: r.MaxLon + dLon,
+	}
+}
+
+// Union returns the smallest rectangle containing both r and o.
+func (r Rect) Union(o Rect) Rect {
+	return Rect{
+		MinLat: math.Min(r.MinLat, o.MinLat),
+		MinLon: math.Min(r.MinLon, o.MinLon),
+		MaxLat: math.Max(r.MaxLat, o.MaxLat),
+		MaxLon: math.Max(r.MaxLon, o.MaxLon),
+	}
+}
+
+// BoundingRect returns the smallest Rect containing every point in pts.
+// It returns the zero Rect when pts is empty.
+func BoundingRect(pts []Point) Rect {
+	if len(pts) == 0 {
+		return Rect{}
+	}
+	r := Rect{MinLat: pts[0].Lat, MaxLat: pts[0].Lat, MinLon: pts[0].Lon, MaxLon: pts[0].Lon}
+	for _, p := range pts[1:] {
+		r.MinLat = math.Min(r.MinLat, p.Lat)
+		r.MaxLat = math.Max(r.MaxLat, p.Lat)
+		r.MinLon = math.Min(r.MinLon, p.Lon)
+		r.MaxLon = math.Max(r.MaxLon, p.Lon)
+	}
+	return r
+}
+
+// RectAround returns a bounding box guaranteed to contain the circle of the
+// given radius (meters) around p. Used to pre-filter radius queries.
+func RectAround(p Point, radiusMeters float64) Rect {
+	return Rect{MinLat: p.Lat, MaxLat: p.Lat, MinLon: p.Lon, MaxLon: p.Lon}.Expand(radiusMeters)
+}
+
+// Polygon is a simple (non-self-intersecting) polygon given as a ring of
+// vertices. The ring may be open (first != last); Contains treats it as
+// implicitly closed.
+type Polygon []Point
+
+// Contains reports whether p lies strictly inside or on the boundary of the
+// polygon, using the even-odd ray-casting rule in lat/lon space. City-scale
+// polygons (taxi-stand areas, zones) are small enough that planar
+// ray-casting is exact for practical purposes.
+func (poly Polygon) Contains(p Point) bool {
+	n := len(poly)
+	if n < 3 {
+		return false
+	}
+	inside := false
+	j := n - 1
+	for i := 0; i < n; i++ {
+		pi, pj := poly[i], poly[j]
+		if (pi.Lat > p.Lat) != (pj.Lat > p.Lat) {
+			cross := (pj.Lon-pi.Lon)*(p.Lat-pi.Lat)/(pj.Lat-pi.Lat) + pi.Lon
+			if p.Lon < cross {
+				inside = !inside
+			} else if p.Lon == cross {
+				return true // on an edge
+			}
+		}
+		j = i
+	}
+	return inside
+}
+
+// Bounds returns the bounding rectangle of the polygon.
+func (poly Polygon) Bounds() Rect { return BoundingRect(poly) }
+
+// CirclePolygon approximates the circle of the given radius around center
+// with a regular n-gon (n >= 3). Useful for defining monitor areas.
+func CirclePolygon(center Point, radiusMeters float64, n int) Polygon {
+	if n < 3 {
+		n = 3
+	}
+	poly := make(Polygon, n)
+	for i := 0; i < n; i++ {
+		poly[i] = Destination(center, float64(i)*360/float64(n), radiusMeters)
+	}
+	return poly
+}

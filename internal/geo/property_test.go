@@ -1,0 +1,105 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// cityPoint draws a point in the Singapore-scale frame where the library is
+// used.
+func cityPoint(rng *rand.Rand) Point {
+	return Point{Lat: 1.22 + rng.Float64()*0.24, Lon: 103.6 + rng.Float64()*0.44}
+}
+
+// TestHaversineTriangleInequality on city-scale triples.
+func TestHaversineTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := cityPoint(rng), cityPoint(rng), cityPoint(rng)
+		return Haversine(a, c) <= Haversine(a, b)+Haversine(b, c)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBearingDestinationConsistency: destination at distance d along any
+// bearing is d away, and the reverse bearing points back (±180°).
+func TestBearingDestinationConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := cityPoint(rng)
+		brng := rng.Float64() * 360
+		d := 10 + rng.Float64()*20000
+		q := Destination(p, brng, d)
+		if math.Abs(Haversine(p, q)-d) > 0.05 {
+			return false
+		}
+		back := Bearing(q, p)
+		// back should equal brng+180 up to a tiny meridian-convergence
+		// correction at city scale.
+		diff := math.Abs(math.Mod(back-(brng+180)+540, 360) - 180)
+		return diff < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRectContainsItsOwnCenterAndCorners for random rects.
+func TestRectContainsItsOwnCenterAndCorners(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRect(cityPoint(rng), cityPoint(rng))
+		return r.Contains(r.Center()) &&
+			r.Contains(Point{r.MinLat, r.MinLon}) &&
+			r.Contains(Point{r.MaxLat, r.MaxLon})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCirclePolygonRadius: every vertex of the polygon sits on the circle.
+func TestCirclePolygonRadius(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := cityPoint(rng)
+		radius := 10 + rng.Float64()*1000
+		for _, v := range CirclePolygon(c, radius, 3+rng.Intn(20)) {
+			if math.Abs(Haversine(c, v)-radius) > 0.05 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBoundingRectIsMinimal: shrinking any side excludes a point.
+func TestBoundingRectIsMinimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		pts := make([]Point, 3+rng.Intn(40))
+		for i := range pts {
+			pts[i] = cityPoint(rng)
+		}
+		r := BoundingRect(pts)
+		onMin, onMax := false, false
+		for _, p := range pts {
+			if p.Lat == r.MinLat || p.Lon == r.MinLon {
+				onMin = true
+			}
+			if p.Lat == r.MaxLat || p.Lon == r.MaxLon {
+				onMax = true
+			}
+		}
+		if !onMin || !onMax {
+			t.Fatal("bounding rect has slack on some side")
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package queueing
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// modelQueue is a trivially-correct reference FIFO used for model-based
+// testing of the production implementation.
+type modelQueue struct {
+	items []struct {
+		id string
+		at time.Time
+	}
+}
+
+func (m *modelQueue) arrive(id string, at time.Time) {
+	m.items = append(m.items, struct {
+		id string
+		at time.Time
+	}{id, at})
+}
+
+func (m *modelQueue) depart() (string, bool) {
+	if len(m.items) == 0 {
+		return "", false
+	}
+	id := m.items[0].id
+	m.items = m.items[1:]
+	return id, true
+}
+
+// TestFIFOAgainstModel drives the production FIFO and the reference model
+// with the same random operation sequence and checks observable agreement
+// at every step.
+func TestFIFOAgainstModel(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var q FIFO
+		var m modelQueue
+		now := time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC)
+		for op := 0; op < 2000; op++ {
+			now = now.Add(time.Duration(rng.Intn(60)) * time.Second)
+			if rng.Float64() < 0.55 {
+				id := string(rune('a' + rng.Intn(26)))
+				q.Arrive(id, now)
+				m.arrive(id, now)
+			} else {
+				gotID, _, gotOK := q.Depart(now)
+				wantID, wantOK := m.depart()
+				if gotOK != wantOK || gotID != wantID {
+					t.Fatalf("seed %d op %d: Depart = (%q,%v), model (%q,%v)",
+						seed, op, gotID, gotOK, wantID, wantOK)
+				}
+			}
+			if q.Len() != len(m.items) {
+				t.Fatalf("seed %d op %d: Len = %d, model %d", seed, op, q.Len(), len(m.items))
+			}
+			if id, ok := q.Peek(); ok != (len(m.items) > 0) || (ok && id != m.items[0].id) {
+				t.Fatalf("seed %d op %d: Peek mismatch", seed, op)
+			}
+		}
+		// Stats sanity at the end.
+		s := q.StatsAt(now)
+		if s.Arrivals < s.Departures || s.Current != q.Len() {
+			t.Fatalf("seed %d: inconsistent stats %+v", seed, s)
+		}
+		if s.AvgLen < 0 || s.AvgWait < 0 {
+			t.Fatalf("seed %d: negative averages %+v", seed, s)
+		}
+	}
+}

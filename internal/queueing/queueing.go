@@ -1,0 +1,211 @@
+// Package queueing provides the queueing-theory primitives the analytics
+// engine and the simulator share: Little's Law (§5.2 derives the FREE-taxi
+// queue length from it), the standard M/M/1 and M/M/c formulas used to
+// sanity-check the simulator, and a discrete-event FIFO queue that the
+// simulator uses for taxi-stand dynamics.
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Little returns the average number in system L = λW given an average
+// arrival rate λ (entities/second) and an average wait W.
+// This is the estimator behind the paper's L̄(r)^j = t̄wait(r)^j * λ̄(r)^j.
+func Little(arrivalRatePerSec float64, avgWait time.Duration) float64 {
+	return arrivalRatePerSec * avgWait.Seconds()
+}
+
+// MM1 summarizes a single-server Markovian queue.
+type MM1 struct {
+	Lambda float64 // arrival rate (1/s)
+	Mu     float64 // service rate (1/s)
+}
+
+// Rho returns the utilization λ/μ.
+func (q MM1) Rho() float64 { return q.Lambda / q.Mu }
+
+// Stable reports whether the queue has a stationary distribution (ρ < 1).
+func (q MM1) Stable() bool { return q.Lambda > 0 && q.Mu > 0 && q.Rho() < 1 }
+
+// L returns the stationary mean number in system ρ/(1-ρ).
+func (q MM1) L() (float64, error) {
+	if !q.Stable() {
+		return 0, fmt.Errorf("queueing: M/M/1 unstable (rho=%.3f)", q.Rho())
+	}
+	rho := q.Rho()
+	return rho / (1 - rho), nil
+}
+
+// W returns the stationary mean time in system 1/(μ-λ) as a duration.
+func (q MM1) W() (time.Duration, error) {
+	if !q.Stable() {
+		return 0, fmt.Errorf("queueing: M/M/1 unstable (rho=%.3f)", q.Rho())
+	}
+	return time.Duration(float64(time.Second) / (q.Mu - q.Lambda)), nil
+}
+
+// MMc summarizes a c-server Markovian queue (one waiting line, c servers);
+// a taxi stand with several loading bays behaves this way.
+type MMc struct {
+	Lambda  float64 // arrival rate (1/s)
+	Mu      float64 // per-server service rate (1/s)
+	Servers int
+}
+
+// Rho returns the per-server utilization λ/(cμ).
+func (q MMc) Rho() float64 { return q.Lambda / (float64(q.Servers) * q.Mu) }
+
+// Stable reports whether the queue has a stationary distribution.
+func (q MMc) Stable() bool {
+	return q.Lambda > 0 && q.Mu > 0 && q.Servers >= 1 && q.Rho() < 1
+}
+
+// ErlangC returns the probability an arriving customer must wait
+// (the Erlang-C formula).
+func (q MMc) ErlangC() (float64, error) {
+	if !q.Stable() {
+		return 0, errors.New("queueing: M/M/c unstable")
+	}
+	c := q.Servers
+	a := q.Lambda / q.Mu // offered load in Erlangs
+	// Compute iteratively to avoid factorial overflow.
+	sum := 0.0
+	term := 1.0 // a^k / k!
+	for k := 0; k < c; k++ {
+		sum += term
+		term *= a / float64(k+1)
+	}
+	// term is now a^c / c!
+	last := term / (1 - q.Rho())
+	return last / (sum + last), nil
+}
+
+// Lq returns the stationary mean queue length (waiting, excluding in
+// service).
+func (q MMc) Lq() (float64, error) {
+	pWait, err := q.ErlangC()
+	if err != nil {
+		return 0, err
+	}
+	rho := q.Rho()
+	return pWait * rho / (1 - rho), nil
+}
+
+// Wq returns the stationary mean waiting time (excluding service).
+func (q MMc) Wq() (time.Duration, error) {
+	lq, err := q.Lq()
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(lq / q.Lambda * float64(time.Second)), nil
+}
+
+// FIFO is a timestamped first-in-first-out queue of string-identified
+// entities (taxis at a stand, passengers at a curb). It tracks the running
+// statistics needed to verify Little's Law against simulated ground truth.
+// FIFO is not safe for concurrent use.
+type FIFO struct {
+	entries []fifoEntry
+	head    int
+
+	arrivals   int
+	departures int
+	totalWait  time.Duration
+	// time-weighted queue-length integral for ground-truth L.
+	lastChange time.Time
+	lenSeconds float64
+	started    bool
+	start      time.Time
+}
+
+type fifoEntry struct {
+	id string
+	at time.Time
+}
+
+// Arrive enqueues id at time t. Times must be non-decreasing across all
+// Arrive/Depart calls.
+func (q *FIFO) Arrive(id string, t time.Time) {
+	q.account(t)
+	q.entries = append(q.entries, fifoEntry{id: id, at: t})
+	q.arrivals++
+}
+
+// Depart dequeues the head entity at time t and returns its id and the time
+// it waited. ok is false when the queue is empty.
+func (q *FIFO) Depart(t time.Time) (id string, waited time.Duration, ok bool) {
+	if q.Len() == 0 {
+		return "", 0, false
+	}
+	q.account(t)
+	e := q.entries[q.head]
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.entries) {
+		q.entries = append(q.entries[:0], q.entries[q.head:]...)
+		q.head = 0
+	}
+	q.departures++
+	w := t.Sub(e.at)
+	q.totalWait += w
+	return e.id, w, true
+}
+
+// Peek returns the id at the head without removing it.
+func (q *FIFO) Peek() (string, bool) {
+	if q.Len() == 0 {
+		return "", false
+	}
+	return q.entries[q.head].id, true
+}
+
+// Len returns the current queue length.
+func (q *FIFO) Len() int { return len(q.entries) - q.head }
+
+// account advances the time-weighted length integral to t.
+func (q *FIFO) account(t time.Time) {
+	if !q.started {
+		q.started = true
+		q.start = t
+		q.lastChange = t
+		return
+	}
+	if t.After(q.lastChange) {
+		q.lenSeconds += float64(q.Len()) * t.Sub(q.lastChange).Seconds()
+		q.lastChange = t
+	}
+}
+
+// Stats summarizes the queue's history up to time now.
+type Stats struct {
+	Arrivals   int
+	Departures int
+	AvgWait    time.Duration // mean wait of departed entities
+	AvgLen     float64       // time-averaged queue length
+	Current    int
+}
+
+// StatsAt returns the running statistics with the length integral advanced
+// to now.
+func (q *FIFO) StatsAt(now time.Time) Stats {
+	lenSeconds := q.lenSeconds
+	if q.started && now.After(q.lastChange) {
+		lenSeconds += float64(q.Len()) * now.Sub(q.lastChange).Seconds()
+	}
+	s := Stats{Arrivals: q.arrivals, Departures: q.departures, Current: q.Len()}
+	if q.departures > 0 {
+		s.AvgWait = q.totalWait / time.Duration(q.departures)
+	}
+	if q.started {
+		if total := now.Sub(q.start).Seconds(); total > 0 {
+			s.AvgLen = lenSeconds / total
+		}
+	}
+	if math.IsNaN(s.AvgLen) {
+		s.AvgLen = 0
+	}
+	return s
+}

@@ -1,0 +1,275 @@
+package queueing
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestLittleBasics(t *testing.T) {
+	// λ = 2/s, W = 3 s  =>  L = 6.
+	if l := Little(2, 3*time.Second); l != 6 {
+		t.Fatalf("Little = %g, want 6", l)
+	}
+	if l := Little(0, time.Hour); l != 0 {
+		t.Fatalf("Little with zero arrivals = %g", l)
+	}
+}
+
+func TestLittleOnDeterministicTrace(t *testing.T) {
+	// D/D/1: arrivals every 10 s, service exactly 5 s => each entity waits
+	// 5 s in system, L = λW = 0.1 * 5 = 0.5. Verify against the FIFO's
+	// ground-truth time-averaged length.
+	var q FIFO
+	t0 := time.Date(2026, 7, 6, 8, 0, 0, 0, time.UTC)
+	n := 1000
+	for i := 0; i < n; i++ {
+		at := t0.Add(time.Duration(i) * 10 * time.Second)
+		q.Arrive("e", at)
+		q.Depart(at.Add(5 * time.Second))
+	}
+	end := t0.Add(time.Duration(n) * 10 * time.Second)
+	s := q.StatsAt(end)
+	lambda := float64(s.Arrivals) / end.Sub(t0).Seconds()
+	little := Little(lambda, s.AvgWait)
+	if math.Abs(little-s.AvgLen) > 0.01 {
+		t.Fatalf("Little estimate %.4f vs ground truth %.4f", little, s.AvgLen)
+	}
+	if math.Abs(little-0.5) > 0.01 {
+		t.Fatalf("Little = %.4f, want 0.5", little)
+	}
+}
+
+func TestLittleOnRandomTrace(t *testing.T) {
+	// M/M/1-ish random trace: Little's law must hold on the realized
+	// averages regardless of distribution (it is distribution-free).
+	rng := rand.New(rand.NewSource(1))
+	var q FIFO
+	t0 := time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)
+	now := t0
+	serverFreeAt := t0
+	n := 20000
+	var lastArrival time.Time
+	for i := 0; i < n; i++ {
+		now = now.Add(time.Duration(rng.ExpFloat64() * float64(8*time.Second)))
+		q.Arrive("e", now)
+		lastArrival = now
+		// Serve: departure happens at max(arrival, serverFree) + service.
+		svc := time.Duration(rng.ExpFloat64() * float64(5*time.Second))
+		startSvc := now
+		if serverFreeAt.After(now) {
+			startSvc = serverFreeAt
+		}
+		dep := startSvc.Add(svc)
+		serverFreeAt = dep
+		_ = dep
+	}
+	// Process departures in order after arrivals were queued: re-simulate
+	// properly with a second pass.
+	q = FIFO{}
+	now = t0
+	serverFreeAt = t0
+	rng = rand.New(rand.NewSource(1))
+	type ev struct {
+		at  time.Time
+		arr bool
+	}
+	var evs []ev
+	for i := 0; i < n; i++ {
+		now = now.Add(time.Duration(rng.ExpFloat64() * float64(8*time.Second)))
+		svc := time.Duration(rng.ExpFloat64() * float64(5*time.Second))
+		startSvc := now
+		if serverFreeAt.After(now) {
+			startSvc = serverFreeAt
+		}
+		dep := startSvc.Add(svc)
+		serverFreeAt = dep
+		evs = append(evs, ev{now, true}, ev{dep, false})
+	}
+	// Merge: events must be applied in time order, arrivals first at ties.
+	sort.Slice(evs, func(i, j int) bool {
+		if !evs[i].at.Equal(evs[j].at) {
+			return evs[i].at.Before(evs[j].at)
+		}
+		return evs[i].arr && !evs[j].arr
+	})
+	for _, e := range evs {
+		if e.arr {
+			q.Arrive("e", e.at)
+		} else {
+			q.Depart(e.at)
+		}
+	}
+	end := lastArrival
+	s := q.StatsAt(end)
+	lambda := float64(s.Arrivals) / end.Sub(t0).Seconds()
+	little := Little(lambda, s.AvgWait)
+	if rel := math.Abs(little-s.AvgLen) / s.AvgLen; rel > 0.05 {
+		t.Fatalf("Little estimate %.3f vs ground truth %.3f (rel %.3f)", little, s.AvgLen, rel)
+	}
+}
+
+func TestMM1Formulas(t *testing.T) {
+	q := MM1{Lambda: 1, Mu: 2} // rho = 0.5
+	if !q.Stable() {
+		t.Fatal("rho=0.5 queue reported unstable")
+	}
+	l, err := q.L()
+	if err != nil || math.Abs(l-1) > 1e-12 {
+		t.Fatalf("L = %g (%v), want 1", l, err)
+	}
+	w, err := q.W()
+	if err != nil || w != time.Second {
+		t.Fatalf("W = %v (%v), want 1s", w, err)
+	}
+	// Little consistency: L = λW.
+	if got := Little(q.Lambda, w); math.Abs(got-l) > 1e-9 {
+		t.Fatalf("L=%g but λW=%g", l, got)
+	}
+}
+
+func TestMM1Unstable(t *testing.T) {
+	q := MM1{Lambda: 3, Mu: 2}
+	if q.Stable() {
+		t.Fatal("overloaded queue reported stable")
+	}
+	if _, err := q.L(); err == nil {
+		t.Fatal("L of unstable queue did not error")
+	}
+	if _, err := q.W(); err == nil {
+		t.Fatal("W of unstable queue did not error")
+	}
+}
+
+func TestMMcReducesToMM1(t *testing.T) {
+	m1 := MM1{Lambda: 0.8, Mu: 1}
+	mc := MMc{Lambda: 0.8, Mu: 1, Servers: 1}
+	lqWant := 0.8 * 0.8 / (1 - 0.8) // rho^2/(1-rho) for M/M/1
+	lq, err := mc.Lq()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lq-lqWant) > 1e-9 {
+		t.Fatalf("M/M/1-as-M/M/c Lq = %g, want %g", lq, lqWant)
+	}
+	_ = m1
+}
+
+func TestMMcErlangC(t *testing.T) {
+	// Known value: c=2, a=λ/μ=1 (rho=0.5) => ErlangC = 1/3.
+	q := MMc{Lambda: 1, Mu: 1, Servers: 2}
+	p, err := q.ErlangC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-1.0/3) > 1e-9 {
+		t.Fatalf("ErlangC = %g, want 1/3", p)
+	}
+	// More servers => lower wait probability.
+	q3 := MMc{Lambda: 1, Mu: 1, Servers: 3}
+	p3, _ := q3.ErlangC()
+	if p3 >= p {
+		t.Fatalf("ErlangC did not fall with more servers: %g -> %g", p, p3)
+	}
+}
+
+func TestMMcUnstable(t *testing.T) {
+	q := MMc{Lambda: 5, Mu: 1, Servers: 3}
+	if q.Stable() {
+		t.Fatal("overloaded M/M/c reported stable")
+	}
+	if _, err := q.Lq(); err == nil {
+		t.Fatal("Lq of unstable queue did not error")
+	}
+	if _, err := q.Wq(); err == nil {
+		t.Fatal("Wq of unstable queue did not error")
+	}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	var q FIFO
+	t0 := time.Now()
+	q.Arrive("a", t0)
+	q.Arrive("b", t0.Add(time.Second))
+	q.Arrive("c", t0.Add(2*time.Second))
+	if id, _ := q.Peek(); id != "a" {
+		t.Fatalf("Peek = %s, want a", id)
+	}
+	id, w, ok := q.Depart(t0.Add(10 * time.Second))
+	if !ok || id != "a" || w != 10*time.Second {
+		t.Fatalf("Depart = %s %v %v", id, w, ok)
+	}
+	id, _, _ = q.Depart(t0.Add(11 * time.Second))
+	if id != "b" {
+		t.Fatalf("second Depart = %s, want b", id)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+}
+
+func TestFIFOEmptyDepart(t *testing.T) {
+	var q FIFO
+	if _, _, ok := q.Depart(time.Now()); ok {
+		t.Fatal("Depart on empty queue succeeded")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty queue succeeded")
+	}
+	s := q.StatsAt(time.Now())
+	if s.Arrivals != 0 || s.AvgLen != 0 || s.AvgWait != 0 {
+		t.Fatalf("empty queue stats %+v", s)
+	}
+}
+
+func TestFIFOCompaction(t *testing.T) {
+	// Interleave many arrivals/departures to force head compaction and
+	// verify the head entity is always the oldest.
+	var q FIFO
+	t0 := time.Now()
+	next := 0
+	expectHead := 0
+	for i := 0; i < 1000; i++ {
+		q.Arrive(string(rune('A'+next%26)), t0.Add(time.Duration(i)*time.Second))
+		next++
+		if i%2 == 1 {
+			id, _, ok := q.Depart(t0.Add(time.Duration(i) * time.Second))
+			if !ok || id != string(rune('A'+expectHead%26)) {
+				t.Fatalf("iteration %d: Depart = %q, want %q", i, id, string(rune('A'+expectHead%26)))
+			}
+			expectHead++
+		}
+	}
+	if q.Len() != next-expectHead {
+		t.Fatalf("Len = %d, want %d", q.Len(), next-expectHead)
+	}
+}
+
+func TestFIFOStatsAvgLen(t *testing.T) {
+	// One entity present for 10 s out of 20 s observed => AvgLen 0.5.
+	var q FIFO
+	t0 := time.Now()
+	q.Arrive("x", t0)
+	q.Depart(t0.Add(10 * time.Second))
+	s := q.StatsAt(t0.Add(20 * time.Second))
+	if math.Abs(s.AvgLen-0.5) > 1e-9 {
+		t.Fatalf("AvgLen = %g, want 0.5", s.AvgLen)
+	}
+	if s.AvgWait != 10*time.Second {
+		t.Fatalf("AvgWait = %v, want 10s", s.AvgWait)
+	}
+}
+
+func BenchmarkFIFO(b *testing.B) {
+	var q FIFO
+	t0 := time.Now()
+	for i := 0; i < b.N; i++ {
+		at := t0.Add(time.Duration(i) * time.Millisecond)
+		q.Arrive("x", at)
+		if i%2 == 1 {
+			q.Depart(at)
+		}
+	}
+}

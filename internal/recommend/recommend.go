@@ -1,0 +1,158 @@
+// Package recommend implements the paper's motivating applications (§1 and
+// the §9 future work): recommending queue spots to taxi drivers (where are
+// passengers queuing?) and to commuters (where are taxis queuing?), ranked
+// by a combination of context, activity and travel distance.
+package recommend
+
+import (
+	"sort"
+	"time"
+
+	"taxiqueue/internal/core"
+	"taxiqueue/internal/geo"
+)
+
+// Audience selects who the recommendation is for.
+type Audience uint8
+
+const (
+	// ForDriver recommends spots with waiting passengers (C1/C2).
+	ForDriver Audience = iota
+	// ForCommuter recommends spots with waiting taxis (C1/C3).
+	ForCommuter
+)
+
+// String implements fmt.Stringer.
+func (a Audience) String() string {
+	if a == ForDriver {
+		return "driver"
+	}
+	return "commuter"
+}
+
+// Recommendation is one ranked queue spot.
+type Recommendation struct {
+	Spot     core.QueueSpot
+	Context  core.QueueType
+	Distance float64 // meters from the query position
+	Score    float64 // higher is better
+}
+
+// Options tunes the ranking.
+type Options struct {
+	// MaxDistanceMeters bounds the search radius; 5 km when zero.
+	MaxDistanceMeters float64
+	// MaxResults caps the returned list; 5 when zero.
+	MaxResults int
+	// HalfDistanceMeters is the distance at which the distance factor
+	// halves; 1.5 km when zero.
+	HalfDistanceMeters float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDistanceMeters == 0 {
+		o.MaxDistanceMeters = 5000
+	}
+	if o.MaxResults == 0 {
+		o.MaxResults = 5
+	}
+	if o.HalfDistanceMeters == 0 {
+		o.HalfDistanceMeters = 1500
+	}
+	return o
+}
+
+// contextWeight scores how attractive a context is for the audience. A
+// driver wants passenger queues; C2 (passengers only) beats C1 (they would
+// join a taxi line). A commuter wants taxi queues; C3 beats C1 (no
+// passenger line to stand in).
+func contextWeight(aud Audience, q core.QueueType) float64 {
+	switch aud {
+	case ForDriver:
+		switch q {
+		case core.C2:
+			return 1.0
+		case core.C1:
+			return 0.6
+		case core.C4, core.Unidentified:
+			return 0.1
+		default: // C3: a taxi line with no passengers
+			return 0
+		}
+	default:
+		switch q {
+		case core.C3:
+			return 1.0
+		case core.C1:
+			return 0.7
+		case core.C4, core.Unidentified:
+			return 0.1
+		default: // C2: joining an existing passenger queue
+			return 0.05
+		}
+	}
+}
+
+// Recommend ranks the analyzed spots for the audience at the given position
+// and time. The score combines the context weight, the spot's activity
+// (pickup volume, saturating) and an inverse-distance factor.
+func Recommend(res *core.Result, aud Audience, from geo.Point, at time.Time, opts Options) []Recommendation {
+	opts = opts.withDefaults()
+	grid := res.Config.Grid
+	var out []Recommendation
+	for i := range res.Spots {
+		sa := &res.Spots[i]
+		d := geo.Equirect(from, sa.Spot.Pos)
+		if d > opts.MaxDistanceMeters {
+			continue
+		}
+		ctx := sa.LabelAt(grid, at)
+		w := contextWeight(aud, ctx)
+		if w == 0 {
+			continue
+		}
+		activity := float64(sa.Spot.PickupCount)
+		activityFactor := activity / (activity + 100) // saturates toward 1
+		distFactor := opts.HalfDistanceMeters / (opts.HalfDistanceMeters + d)
+		out = append(out, Recommendation{
+			Spot:     sa.Spot,
+			Context:  ctx,
+			Distance: d,
+			Score:    w * activityFactor * distFactor,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Distance < out[j].Distance
+	})
+	if len(out) > opts.MaxResults {
+		out = out[:opts.MaxResults]
+	}
+	return out
+}
+
+// EmergingPassengerQueues returns the spots whose context switched into a
+// passenger-queue state (C1/C2) at the slot containing `at`, having been in
+// a non-passenger-queue state in the previous slot — the "recent emerging
+// passenger queue spots" feed the §9 driver recommendation describes.
+func EmergingPassengerQueues(res *core.Result, at time.Time) []core.QueueSpot {
+	grid := res.Config.Grid
+	j := grid.Index(at)
+	if j <= 0 {
+		return nil
+	}
+	paxQueue := func(q core.QueueType) bool { return q == core.C1 || q == core.C2 }
+	var out []core.QueueSpot
+	for i := range res.Spots {
+		sa := &res.Spots[i]
+		if j >= len(sa.Labels) {
+			continue
+		}
+		if paxQueue(sa.Labels[j]) && !paxQueue(sa.Labels[j-1]) {
+			out = append(out, sa.Spot)
+		}
+	}
+	return out
+}

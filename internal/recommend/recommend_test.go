@@ -1,0 +1,147 @@
+package recommend
+
+import (
+	"testing"
+	"time"
+
+	"taxiqueue/internal/citymap"
+	"taxiqueue/internal/core"
+	"taxiqueue/internal/geo"
+)
+
+var (
+	origin = geo.Point{Lat: 1.30, Lon: 103.83}
+	noon   = time.Date(2026, 1, 5, 12, 0, 0, 0, time.UTC)
+)
+
+// fakeResult builds a Result with hand-placed spots and labels.
+func fakeResult(spots ...core.SpotAnalysis) *core.Result {
+	cfg := core.DefaultEngineConfig()
+	cfg.Grid = core.DaySlots(time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC))
+	return &core.Result{Config: cfg, Spots: spots}
+}
+
+// spotAt creates a spot at distance meters east of origin whose every slot
+// is labeled q.
+func spotAt(meters float64, pickups int, q core.QueueType) core.SpotAnalysis {
+	labels := make([]core.QueueType, 48)
+	for i := range labels {
+		labels[i] = q
+	}
+	return core.SpotAnalysis{
+		Spot: core.QueueSpot{
+			Pos:         geo.Destination(origin, 90, meters),
+			Zone:        citymap.Central,
+			PickupCount: pickups,
+		},
+		Labels: labels,
+	}
+}
+
+func TestDriverPrefersPassengerQueues(t *testing.T) {
+	res := fakeResult(
+		spotAt(1000, 300, core.C2),
+		spotAt(900, 300, core.C3), // closer but a taxi line: useless for a driver
+		spotAt(1100, 300, core.C4),
+	)
+	recs := Recommend(res, ForDriver, origin, noon, Options{})
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	if recs[0].Context != core.C2 {
+		t.Fatalf("top driver recommendation is %v, want C2", recs[0].Context)
+	}
+	for _, r := range recs {
+		if r.Context == core.C3 {
+			t.Fatal("driver recommended a taxi-queue-only spot")
+		}
+	}
+}
+
+func TestCommuterPrefersTaxiQueues(t *testing.T) {
+	res := fakeResult(
+		spotAt(1000, 300, core.C3),
+		spotAt(900, 300, core.C2),
+		spotAt(800, 300, core.C1),
+	)
+	recs := Recommend(res, ForCommuter, origin, noon, Options{})
+	if len(recs) < 2 {
+		t.Fatalf("got %d recommendations", len(recs))
+	}
+	// C1 at 800 m (weight 0.7, distFactor ~0.65) vs C3 at 1000 m (1.0,
+	// 0.6): C3's context weight should win.
+	if recs[0].Context != core.C3 && recs[0].Context != core.C1 {
+		t.Fatalf("top commuter recommendation is %v", recs[0].Context)
+	}
+	// C2 must rank below both queue-bearing spots.
+	if recs[0].Context == core.C2 || (len(recs) > 1 && recs[1].Context == core.C2) {
+		t.Fatal("commuter recommended a passenger-queue spot too highly")
+	}
+}
+
+func TestDistanceCutoff(t *testing.T) {
+	res := fakeResult(spotAt(8000, 300, core.C2))
+	if recs := Recommend(res, ForDriver, origin, noon, Options{}); len(recs) != 0 {
+		t.Fatal("spot beyond the 5 km default radius recommended")
+	}
+	recs := Recommend(res, ForDriver, origin, noon, Options{MaxDistanceMeters: 10000})
+	if len(recs) != 1 {
+		t.Fatal("widened radius did not include the spot")
+	}
+}
+
+func TestMaxResults(t *testing.T) {
+	var spots []core.SpotAnalysis
+	for i := 0; i < 10; i++ {
+		spots = append(spots, spotAt(500+float64(i)*100, 300, core.C2))
+	}
+	res := fakeResult(spots...)
+	recs := Recommend(res, ForDriver, origin, noon, Options{MaxResults: 3})
+	if len(recs) != 3 {
+		t.Fatalf("got %d recommendations, want 3", len(recs))
+	}
+	// Identical contexts and pickups: nearer spots score higher.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Distance < recs[i-1].Distance {
+			t.Fatal("recommendations not ordered by distance for equal contexts")
+		}
+	}
+}
+
+func TestActivityBreaksTies(t *testing.T) {
+	busy := spotAt(1000, 500, core.C2)
+	quiet := spotAt(1000, 50, core.C2)
+	quiet.Spot.Pos = geo.Destination(origin, 270, 1000) // same distance, west
+	res := fakeResult(quiet, busy)
+	recs := Recommend(res, ForDriver, origin, noon, Options{})
+	if recs[0].Spot.PickupCount != 500 {
+		t.Fatal("busier spot did not outrank quieter one")
+	}
+}
+
+func TestEmergingPassengerQueues(t *testing.T) {
+	sa := spotAt(1000, 300, core.C4)
+	// Flip to C2 at slot 24 (noon).
+	for j := 24; j < 48; j++ {
+		sa.Labels[j] = core.C2
+	}
+	steady := spotAt(2000, 300, core.C2) // C2 all day: not "emerging" at noon
+	res := fakeResult(sa, steady)
+	got := EmergingPassengerQueues(res, noon)
+	if len(got) != 1 {
+		t.Fatalf("emerging spots = %d, want 1", len(got))
+	}
+	if got[0].PickupCount != 300 || got[0].Pos != sa.Spot.Pos {
+		t.Fatal("wrong emerging spot")
+	}
+	// Slot 0 has no predecessor.
+	if EmergingPassengerQueues(res, res.Config.Grid.Start) != nil {
+		t.Fatal("slot 0 reported emerging queues")
+	}
+}
+
+func TestAudienceString(t *testing.T) {
+	if ForDriver.String() != "driver" || ForCommuter.String() != "commuter" {
+		t.Fatal("audience names wrong")
+	}
+}

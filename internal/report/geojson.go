@@ -1,0 +1,52 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// GeoJSON types — just enough of RFC 7946 for the frontend map layer.
+
+// Feature is one GeoJSON feature with a Point geometry.
+type Feature struct {
+	Type       string         `json:"type"`
+	Geometry   PointGeometry  `json:"geometry"`
+	Properties map[string]any `json:"properties"`
+}
+
+// PointGeometry is a GeoJSON Point ([lon, lat] per the spec).
+type PointGeometry struct {
+	Type        string     `json:"type"`
+	Coordinates [2]float64 `json:"coordinates"`
+}
+
+// FeatureCollection is the top-level GeoJSON document.
+type FeatureCollection struct {
+	Type     string    `json:"type"`
+	Features []Feature `json:"features"`
+}
+
+// NewFeatureCollection creates an empty collection.
+func NewFeatureCollection() *FeatureCollection {
+	return &FeatureCollection{Type: "FeatureCollection", Features: []Feature{}}
+}
+
+// AddPoint appends one point feature (lat/lon in the usual order; the
+// GeoJSON [lon, lat] flip happens here, once).
+func (fc *FeatureCollection) AddPoint(lat, lon float64, properties map[string]any) {
+	fc.Features = append(fc.Features, Feature{
+		Type: "Feature",
+		Geometry: PointGeometry{
+			Type:        "Point",
+			Coordinates: [2]float64{lon, lat},
+		},
+		Properties: properties,
+	})
+}
+
+// Encode writes the collection as indented JSON.
+func (fc *FeatureCollection) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fc)
+}

@@ -1,0 +1,142 @@
+// Package report renders the evaluation tables and figure series as aligned
+// ASCII, matching the rows the paper prints. It knows nothing about the
+// experiments themselves — cmd/experiments feeds it data.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned table with an optional title.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are kept as-is.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row of formatted cells: each argument is rendered with
+// %v unless it is a float64, which gets %.1f... use AddRow with Fmt* helpers
+// for specific formatting instead.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage string ("48.3%").
+func Pct(frac float64) string { return fmt.Sprintf("%.1f%%", frac*100) }
+
+// F formats a float with one decimal.
+func F(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// F2 formats a float with two decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Meters formats a distance in meters.
+func Meters(v float64) string { return fmt.Sprintf("%.1f m", v) }
+
+// Series renders a named numeric series (a "figure" in text form): one
+// labeled value per line plus a proportional bar.
+type Series struct {
+	Title  string
+	labels []string
+	values []float64
+}
+
+// NewSeries creates a series with a title.
+func NewSeries(title string) *Series { return &Series{Title: title} }
+
+// Add appends one labeled value.
+func (s *Series) Add(label string, value float64) {
+	s.labels = append(s.labels, label)
+	s.values = append(s.values, value)
+}
+
+// String renders the series with scaled bars.
+func (s *Series) String() string {
+	var b strings.Builder
+	if s.Title != "" {
+		b.WriteString(s.Title)
+		b.WriteByte('\n')
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for i, v := range s.values {
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(s.labels[i]) > maxLabel {
+			maxLabel = len(s.labels[i])
+		}
+	}
+	for i, v := range s.values {
+		bar := ""
+		if maxVal > 0 {
+			bar = strings.Repeat("#", int(v/maxVal*40+0.5))
+		}
+		fmt.Fprintf(&b, "%-*s %8.1f  %s\n", maxLabel, s.labels[i], v, bar)
+	}
+	return b.String()
+}

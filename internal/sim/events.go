@@ -1,0 +1,32 @@
+package sim
+
+import "container/heap"
+
+// event is one scheduled simulation action. Events with equal times fire in
+// scheduling order (seq), making runs fully deterministic for a fixed seed.
+type event struct {
+	at  int64 // unix nanoseconds
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+var _ heap.Interface = (*eventHeap)(nil)

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"math/rand"
+
+	"taxiqueue/internal/geo"
+	"taxiqueue/internal/mdt"
+)
+
+// Fault-injection rates per record, chosen so the erroneous share of the
+// dataset lands near the paper's 2.8% (§6.1.1):
+//   - duplicate GPRS retransmissions     ~1.5%
+//   - improper states (FREE between two PAYMENTs, the clock-sync bug)
+//     ~0.3%
+//   - GPS coordinates outside Singapore (urban-canyon outliers) ~1.0%
+const (
+	dupRate      = 0.016
+	improperRate = 0.003
+	gpsRate      = 0.011
+)
+
+// injectFaults rewrites recs with the §6.1.1 error modes and returns the new
+// slice plus the count of injected erroneous records. Time order is
+// preserved: duplicates and improper-state records are inserted adjacent to
+// their source record; GPS outliers modify a record in place.
+func injectFaults(rng *rand.Rand, recs []mdt.Record) ([]mdt.Record, int) {
+	out := make([]mdt.Record, 0, len(recs)+len(recs)/32)
+	injected := 0
+	for _, r := range recs {
+		u := rng.Float64()
+		switch {
+		case u < gpsRate:
+			// Urban-canyon outlier: throw the fix far outside the island
+			// (sea or Malaysia) or an inaccessible zone.
+			bad := r
+			bad.Pos = geo.Point{
+				Lat: citymapIslandMinLat - 0.3 - rng.Float64(),
+				Lon: r.Pos.Lon + rng.Float64()*2 - 1,
+			}
+			out = append(out, bad)
+			injected++
+		case u < gpsRate+dupRate:
+			// GPRS retransmission: the identical record appears twice.
+			out = append(out, r, r)
+			injected++
+		case u < gpsRate+dupRate+improperRate && r.State == mdt.Payment:
+			// Old-MDT clock-sync bug: a spurious FREE sandwiched between
+			// two PAYMENT records.
+			spurious := r
+			spurious.State = mdt.Free
+			out = append(out, r, spurious, r)
+			injected += 2
+		default:
+			out = append(out, r)
+		}
+	}
+	return out, injected
+}
+
+// citymapIslandMinLat mirrors citymap.Island.MinLat without importing the
+// package into this tiny helper (keeps the fault injector reusable on raw
+// record streams in tests).
+const citymapIslandMinLat = 1.220

@@ -1,0 +1,145 @@
+// Package spatial provides the 2-D point indexes the system uses to tame the
+// O(n²) neighbour searches inside DBSCAN and the dispatch circle queries:
+// a uniform grid index and an R-tree (§4.3 of the paper suggests "the R-Tree
+// based or grid based spatial index").
+//
+// Both indexes answer the same two queries over a fixed point set:
+//
+//   - Range(rect):   all point IDs inside a bounding rectangle
+//   - Within(p, r):  all point IDs within r meters of p
+//
+// Point IDs are the indexes into the point slice supplied at construction,
+// so callers can carry arbitrary payloads in parallel slices.
+package spatial
+
+import (
+	"math"
+
+	"taxiqueue/internal/geo"
+)
+
+// Index is the query interface shared by the grid and R-tree indexes and by
+// the brute-force reference implementation used in tests.
+type Index interface {
+	// Range appends to dst the IDs of all points inside rect and returns
+	// the extended slice.
+	Range(rect geo.Rect, dst []int) []int
+	// Within appends to dst the IDs of all points within radiusMeters of
+	// center (inclusive) and returns the extended slice.
+	Within(center geo.Point, radiusMeters float64, dst []int) []int
+	// Len returns the number of indexed points.
+	Len() int
+}
+
+// Grid is a uniform-cell spatial hash over a fixed point set. Cell size is
+// chosen by the caller; for DBSCAN the natural choice is the eps radius.
+type Grid struct {
+	pts      []geo.Point
+	origin   geo.Point
+	cellDeg  float64 // cell size in degrees latitude
+	cellDegX float64 // cell size in degrees longitude at the origin latitude
+	cells    map[uint64][]int32
+}
+
+// NewGrid builds a grid index over pts with the given cell size in meters.
+// The point slice is retained (not copied); it must not be mutated while
+// the index is in use.
+func NewGrid(pts []geo.Point, cellMeters float64) *Grid {
+	if cellMeters <= 0 {
+		cellMeters = 15
+	}
+	g := &Grid{
+		pts:   pts,
+		cells: make(map[uint64][]int32, len(pts)/2+1),
+	}
+	if len(pts) > 0 {
+		g.origin = geo.BoundingRect(pts).Center()
+	}
+	metersPerDegLat := 2 * math.Pi * geo.EarthRadiusMeters / 360
+	g.cellDeg = cellMeters / metersPerDegLat
+	g.cellDegX = cellMeters / (metersPerDegLat * math.Cos(g.origin.Lat*math.Pi/180))
+	for i, p := range pts {
+		key := g.cellKey(p)
+		g.cells[key] = append(g.cells[key], int32(i))
+	}
+	return g
+}
+
+func (g *Grid) cellCoords(p geo.Point) (int32, int32) {
+	cy := int32(math.Floor((p.Lat - g.origin.Lat) / g.cellDeg))
+	cx := int32(math.Floor((p.Lon - g.origin.Lon) / g.cellDegX))
+	return cx, cy
+}
+
+func (g *Grid) cellKey(p geo.Point) uint64 {
+	cx, cy := g.cellCoords(p)
+	return uint64(uint32(cx))<<32 | uint64(uint32(cy))
+}
+
+// Len implements Index.
+func (g *Grid) Len() int { return len(g.pts) }
+
+// Range implements Index.
+func (g *Grid) Range(rect geo.Rect, dst []int) []int {
+	loX, loY := g.cellCoords(geo.Point{Lat: rect.MinLat, Lon: rect.MinLon})
+	hiX, hiY := g.cellCoords(geo.Point{Lat: rect.MaxLat, Lon: rect.MaxLon})
+	for cx := loX; cx <= hiX; cx++ {
+		for cy := loY; cy <= hiY; cy++ {
+			key := uint64(uint32(cx))<<32 | uint64(uint32(cy))
+			for _, id := range g.cells[key] {
+				if rect.Contains(g.pts[id]) {
+					dst = append(dst, int(id))
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Within implements Index.
+func (g *Grid) Within(center geo.Point, radiusMeters float64, dst []int) []int {
+	rect := geo.RectAround(center, radiusMeters)
+	loX, loY := g.cellCoords(geo.Point{Lat: rect.MinLat, Lon: rect.MinLon})
+	hiX, hiY := g.cellCoords(geo.Point{Lat: rect.MaxLat, Lon: rect.MaxLon})
+	for cx := loX; cx <= hiX; cx++ {
+		for cy := loY; cy <= hiY; cy++ {
+			key := uint64(uint32(cx))<<32 | uint64(uint32(cy))
+			for _, id := range g.cells[key] {
+				if geo.Equirect(center, g.pts[id]) <= radiusMeters {
+					dst = append(dst, int(id))
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Linear is the brute-force reference Index used to validate the grid and
+// R-tree in tests and as the baseline in ablation benches.
+type Linear struct{ pts []geo.Point }
+
+// NewLinear wraps pts in a brute-force index.
+func NewLinear(pts []geo.Point) *Linear { return &Linear{pts: pts} }
+
+// Len implements Index.
+func (l *Linear) Len() int { return len(l.pts) }
+
+// Range implements Index.
+func (l *Linear) Range(rect geo.Rect, dst []int) []int {
+	for i, p := range l.pts {
+		if rect.Contains(p) {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// Within implements Index.
+func (l *Linear) Within(center geo.Point, radiusMeters float64, dst []int) []int {
+	for i, p := range l.pts {
+		if geo.Equirect(center, p) <= radiusMeters {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}

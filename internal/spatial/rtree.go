@@ -1,0 +1,221 @@
+package spatial
+
+import (
+	"sort"
+
+	"taxiqueue/internal/geo"
+)
+
+// RTree is a static R-tree over a fixed point set, bulk-loaded with the
+// Sort-Tile-Recursive (STR) algorithm. STR packing yields near-optimal node
+// occupancy and, for the read-only workloads in this system (cluster the
+// day's pickup events, then query), beats incremental insertion.
+type RTree struct {
+	pts  []geo.Point
+	root *rnode
+	m    int // max entries per node
+}
+
+type rnode struct {
+	bounds   geo.Rect
+	children []*rnode // nil for leaves
+	ids      []int32  // point IDs; non-nil only for leaves
+}
+
+// DefaultRTreeFanout is the node capacity used when NewRTree is given a
+// non-positive fanout.
+const DefaultRTreeFanout = 16
+
+// NewRTree bulk-loads an STR-packed R-tree over pts. The point slice is
+// retained (not copied) and must not be mutated while the index is in use.
+func NewRTree(pts []geo.Point, fanout int) *RTree {
+	if fanout <= 1 {
+		fanout = DefaultRTreeFanout
+	}
+	t := &RTree{pts: pts, m: fanout}
+	if len(pts) == 0 {
+		return t
+	}
+	ids := make([]int32, len(pts))
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	t.root = t.strPack(ids)
+	return t
+}
+
+// strPack builds a subtree over ids using Sort-Tile-Recursive packing.
+func (t *RTree) strPack(ids []int32) *rnode {
+	// Leaf level: sort into vertical slices by longitude, then within each
+	// slice by latitude, and cut into runs of at most m.
+	leaves := t.packLeaves(ids)
+	for len(leaves) > 1 {
+		leaves = t.packNodes(leaves)
+	}
+	return leaves[0]
+}
+
+func (t *RTree) packLeaves(ids []int32) []*rnode {
+	n := len(ids)
+	nLeaves := (n + t.m - 1) / t.m
+	nSlices := isqrtCeil(nLeaves)
+	sliceCap := nSlices * t.m
+
+	sorted := make([]int32, n)
+	copy(sorted, ids)
+	sort.Slice(sorted, func(i, j int) bool {
+		return t.pts[sorted[i]].Lon < t.pts[sorted[j]].Lon
+	})
+
+	var leaves []*rnode
+	for start := 0; start < n; start += sliceCap {
+		end := min(start+sliceCap, n)
+		slice := sorted[start:end]
+		sort.Slice(slice, func(i, j int) bool {
+			return t.pts[slice[i]].Lat < t.pts[slice[j]].Lat
+		})
+		for ls := 0; ls < len(slice); ls += t.m {
+			le := min(ls+t.m, len(slice))
+			leaf := &rnode{ids: append([]int32(nil), slice[ls:le]...)}
+			leaf.bounds = t.idsBounds(leaf.ids)
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+func (t *RTree) packNodes(nodes []*rnode) []*rnode {
+	n := len(nodes)
+	nParents := (n + t.m - 1) / t.m
+	nSlices := isqrtCeil(nParents)
+	sliceCap := nSlices * t.m
+
+	sorted := make([]*rnode, n)
+	copy(sorted, nodes)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].bounds.Center().Lon < sorted[j].bounds.Center().Lon
+	})
+
+	var parents []*rnode
+	for start := 0; start < n; start += sliceCap {
+		end := min(start+sliceCap, n)
+		slice := sorted[start:end]
+		sort.Slice(slice, func(i, j int) bool {
+			return slice[i].bounds.Center().Lat < slice[j].bounds.Center().Lat
+		})
+		for ls := 0; ls < len(slice); ls += t.m {
+			le := min(ls+t.m, len(slice))
+			p := &rnode{children: append([]*rnode(nil), slice[ls:le]...)}
+			p.bounds = p.children[0].bounds
+			for _, c := range p.children[1:] {
+				p.bounds = p.bounds.Union(c.bounds)
+			}
+			parents = append(parents, p)
+		}
+	}
+	return parents
+}
+
+func (t *RTree) idsBounds(ids []int32) geo.Rect {
+	r := geo.Rect{
+		MinLat: t.pts[ids[0]].Lat, MaxLat: t.pts[ids[0]].Lat,
+		MinLon: t.pts[ids[0]].Lon, MaxLon: t.pts[ids[0]].Lon,
+	}
+	for _, id := range ids[1:] {
+		p := t.pts[id]
+		if p.Lat < r.MinLat {
+			r.MinLat = p.Lat
+		}
+		if p.Lat > r.MaxLat {
+			r.MaxLat = p.Lat
+		}
+		if p.Lon < r.MinLon {
+			r.MinLon = p.Lon
+		}
+		if p.Lon > r.MaxLon {
+			r.MaxLon = p.Lon
+		}
+	}
+	return r
+}
+
+func isqrtCeil(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	s := 1
+	for s*s < n {
+		s++
+	}
+	return s
+}
+
+// Len implements Index.
+func (t *RTree) Len() int { return len(t.pts) }
+
+// Range implements Index.
+func (t *RTree) Range(rect geo.Rect, dst []int) []int {
+	if t.root == nil {
+		return dst
+	}
+	var walk func(n *rnode)
+	walk = func(n *rnode) {
+		if !n.bounds.Intersects(rect) {
+			return
+		}
+		if n.ids != nil {
+			for _, id := range n.ids {
+				if rect.Contains(t.pts[id]) {
+					dst = append(dst, int(id))
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return dst
+}
+
+// Within implements Index.
+func (t *RTree) Within(center geo.Point, radiusMeters float64, dst []int) []int {
+	if t.root == nil {
+		return dst
+	}
+	rect := geo.RectAround(center, radiusMeters)
+	var walk func(n *rnode)
+	walk = func(n *rnode) {
+		if !n.bounds.Intersects(rect) {
+			return
+		}
+		if n.ids != nil {
+			for _, id := range n.ids {
+				if geo.Equirect(center, t.pts[id]) <= radiusMeters {
+					dst = append(dst, int(id))
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return dst
+}
+
+// Depth returns the height of the tree (leaves are depth 1); 0 when empty.
+// Exposed for tests and diagnostics.
+func (t *RTree) Depth() int {
+	d := 0
+	for n := t.root; n != nil; {
+		d++
+		if n.ids != nil {
+			break
+		}
+		n = n.children[0]
+	}
+	return d
+}

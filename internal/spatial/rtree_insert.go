@@ -1,0 +1,177 @@
+package spatial
+
+import "taxiqueue/internal/geo"
+
+// Insert adds one point to the tree dynamically (classic R-tree insertion
+// with quadratic node splits). The point is appended to the tree's point
+// slice; its ID is returned. Mixing bulk loading and insertion is fine:
+// STR builds the initial tree, Insert grows it.
+func (t *RTree) Insert(p geo.Point) int {
+	id := int32(len(t.pts))
+	t.pts = append(t.pts, p)
+	pr := pointRect(p)
+	if t.root == nil {
+		t.root = &rnode{bounds: pr, ids: []int32{id}}
+		return int(id)
+	}
+	if split := t.insert(t.root, id, pr); split != nil {
+		// Root split: grow the tree by one level.
+		old := t.root
+		t.root = &rnode{
+			bounds:   old.bounds.Union(split.bounds),
+			children: []*rnode{old, split},
+		}
+	}
+	return int(id)
+}
+
+func pointRect(p geo.Point) geo.Rect {
+	return geo.Rect{MinLat: p.Lat, MaxLat: p.Lat, MinLon: p.Lon, MaxLon: p.Lon}
+}
+
+// insert descends to a leaf, adds the entry, and propagates splits upward.
+// It returns the new sibling when n was split, else nil.
+func (t *RTree) insert(n *rnode, id int32, pr geo.Rect) *rnode {
+	n.bounds = n.bounds.Union(pr)
+	if n.ids != nil { // leaf
+		n.ids = append(n.ids, id)
+		if len(n.ids) <= t.m {
+			return nil
+		}
+		return t.splitLeaf(n)
+	}
+	child := chooseSubtree(n.children, pr)
+	if split := t.insert(child, id, pr); split != nil {
+		n.children = append(n.children, split)
+		if len(n.children) <= t.m {
+			return nil
+		}
+		return t.splitInternal(n)
+	}
+	return nil
+}
+
+// chooseSubtree picks the child whose bounds need the least enlargement
+// (ties: smallest area).
+func chooseSubtree(children []*rnode, pr geo.Rect) *rnode {
+	best := children[0]
+	bestEnl, bestArea := enlargement(best.bounds, pr), area(best.bounds)
+	for _, c := range children[1:] {
+		enl := enlargement(c.bounds, pr)
+		a := area(c.bounds)
+		if enl < bestEnl || (enl == bestEnl && a < bestArea) {
+			best, bestEnl, bestArea = c, enl, a
+		}
+	}
+	return best
+}
+
+func area(r geo.Rect) float64 {
+	return (r.MaxLat - r.MinLat) * (r.MaxLon - r.MinLon)
+}
+
+func enlargement(r, add geo.Rect) float64 {
+	return area(r.Union(add)) - area(r)
+}
+
+// splitLeaf splits an over-full leaf with the quadratic method and returns
+// the new sibling.
+func (t *RTree) splitLeaf(n *rnode) *rnode {
+	rects := make([]geo.Rect, len(n.ids))
+	for i, id := range n.ids {
+		rects[i] = pointRect(t.pts[id])
+	}
+	groupA, groupB := quadraticSplit(rects)
+	idsA := make([]int32, 0, len(groupA))
+	idsB := make([]int32, 0, len(groupB))
+	for _, i := range groupA {
+		idsA = append(idsA, n.ids[i])
+	}
+	for _, i := range groupB {
+		idsB = append(idsB, n.ids[i])
+	}
+	sib := &rnode{ids: idsB, bounds: boundsOf(rects, groupB)}
+	n.ids = idsA
+	n.bounds = boundsOf(rects, groupA)
+	return sib
+}
+
+// splitInternal splits an over-full internal node.
+func (t *RTree) splitInternal(n *rnode) *rnode {
+	rects := make([]geo.Rect, len(n.children))
+	for i, c := range n.children {
+		rects[i] = c.bounds
+	}
+	groupA, groupB := quadraticSplit(rects)
+	chA := make([]*rnode, 0, len(groupA))
+	chB := make([]*rnode, 0, len(groupB))
+	for _, i := range groupA {
+		chA = append(chA, n.children[i])
+	}
+	for _, i := range groupB {
+		chB = append(chB, n.children[i])
+	}
+	sib := &rnode{children: chB, bounds: boundsOf(rects, groupB)}
+	n.children = chA
+	n.bounds = boundsOf(rects, groupA)
+	return sib
+}
+
+func boundsOf(rects []geo.Rect, idx []int) geo.Rect {
+	b := rects[idx[0]]
+	for _, i := range idx[1:] {
+		b = b.Union(rects[i])
+	}
+	return b
+}
+
+// quadraticSplit is Guttman's quadratic split: seed the two groups with the
+// most wasteful pair, then assign each remaining entry to the group whose
+// bounds grow least (balancing so neither group can end up under-filled).
+func quadraticSplit(rects []geo.Rect) (groupA, groupB []int) {
+	n := len(rects)
+	// Pick seeds: the pair wasting the most area if grouped together.
+	seedA, seedB := 0, 1
+	worst := -1.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			waste := area(rects[i].Union(rects[j])) - area(rects[i]) - area(rects[j])
+			if waste > worst {
+				worst, seedA, seedB = waste, i, j
+			}
+		}
+	}
+	groupA = []int{seedA}
+	groupB = []int{seedB}
+	bA, bB := rects[seedA], rects[seedB]
+	minFill := n / 3 // keep both groups reasonably filled
+	remaining := n - 2
+	for i := 0; i < n; i++ {
+		if i == seedA || i == seedB {
+			continue
+		}
+		// Force-assign when a group must take all the rest to reach
+		// minimum fill.
+		if len(groupA)+remaining <= minFill {
+			groupA = append(groupA, i)
+			bA = bA.Union(rects[i])
+			remaining--
+			continue
+		}
+		if len(groupB)+remaining <= minFill {
+			groupB = append(groupB, i)
+			bB = bB.Union(rects[i])
+			remaining--
+			continue
+		}
+		if enlargement(bA, rects[i]) <= enlargement(bB, rects[i]) {
+			groupA = append(groupA, i)
+			bA = bA.Union(rects[i])
+		} else {
+			groupB = append(groupB, i)
+			bB = bB.Union(rects[i])
+		}
+		remaining--
+	}
+	return groupA, groupB
+}

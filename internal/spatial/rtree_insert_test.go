@@ -1,0 +1,127 @@
+package spatial
+
+import (
+	"math/rand"
+	"testing"
+
+	"taxiqueue/internal/geo"
+)
+
+func TestInsertIntoEmptyTree(t *testing.T) {
+	tr := NewRTree(nil, 4)
+	p := geo.Point{Lat: 1.3, Lon: 103.8}
+	id := tr.Insert(p)
+	if id != 0 || tr.Len() != 1 {
+		t.Fatalf("id=%d len=%d", id, tr.Len())
+	}
+	got := tr.Within(p, 1, nil)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Within after insert = %v", got)
+	}
+}
+
+func TestInsertMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := NewRTree(nil, 6)
+	var pts []geo.Point
+	for i := 0; i < 3000; i++ {
+		p := geo.Point{Lat: 1.22 + rng.Float64()*0.25, Lon: 103.6 + rng.Float64()*0.42}
+		if id := tr.Insert(p); id != i {
+			t.Fatalf("insert %d returned id %d", i, id)
+		}
+		pts = append(pts, p)
+	}
+	ref := NewLinear(pts)
+	for q := 0; q < 60; q++ {
+		center := pts[rng.Intn(len(pts))]
+		radius := 5 + rng.Float64()*800
+		want := sortedIDs(ref.Within(center, radius, nil))
+		got := sortedIDs(tr.Within(center, radius, nil))
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d: got %d ids, want %d", q, len(got), len(want))
+		}
+		rect := geo.RectAround(center, radius)
+		wantR := sortedIDs(ref.Range(rect, nil))
+		gotR := sortedIDs(tr.Range(rect, nil))
+		if !equalIDs(gotR, wantR) {
+			t.Fatalf("range query %d mismatch", q)
+		}
+	}
+}
+
+func TestInsertAfterBulkLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	initial := randomPoints(500, 3)
+	tr := NewRTree(initial, 8)
+	pts := append([]geo.Point(nil), initial...)
+	for i := 0; i < 500; i++ {
+		p := geo.Point{Lat: 1.22 + rng.Float64()*0.25, Lon: 103.6 + rng.Float64()*0.42}
+		tr.Insert(p)
+		pts = append(pts, p)
+	}
+	ref := NewLinear(pts)
+	for q := 0; q < 40; q++ {
+		center := pts[rng.Intn(len(pts))]
+		want := sortedIDs(ref.Within(center, 300, nil))
+		got := sortedIDs(tr.Within(center, 300, nil))
+		if !equalIDs(got, want) {
+			t.Fatalf("mixed bulk/insert query %d mismatch: %d vs %d ids", q, len(got), len(want))
+		}
+	}
+}
+
+func TestInsertDuplicatePoints(t *testing.T) {
+	tr := NewRTree(nil, 3)
+	p := geo.Point{Lat: 1.3, Lon: 103.8}
+	for i := 0; i < 50; i++ {
+		tr.Insert(p)
+	}
+	got := tr.Within(p, 1, nil)
+	if len(got) != 50 {
+		t.Fatalf("Within returned %d of 50 duplicates", len(got))
+	}
+}
+
+func TestInsertInvariantBoundsContainPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := NewRTree(nil, 5)
+	for i := 0; i < 1000; i++ {
+		tr.Insert(geo.Point{Lat: 1.22 + rng.Float64()*0.25, Lon: 103.6 + rng.Float64()*0.42})
+	}
+	// Every point must be inside its leaf's bounds and every node's bounds
+	// inside its parent's.
+	var walk func(n *rnode)
+	walk = func(n *rnode) {
+		if n.ids != nil {
+			for _, id := range n.ids {
+				if !n.bounds.Contains(tr.pts[id]) {
+					t.Fatal("leaf bounds exclude a member point")
+				}
+			}
+			if len(n.ids) > tr.m {
+				t.Fatalf("leaf overfull: %d > %d", len(n.ids), tr.m)
+			}
+			return
+		}
+		for _, c := range n.children {
+			u := n.bounds.Union(c.bounds)
+			if u != n.bounds {
+				t.Fatal("child bounds escape parent")
+			}
+			walk(c)
+		}
+		if len(n.children) > tr.m {
+			t.Fatalf("internal node overfull: %d > %d", len(n.children), tr.m)
+		}
+	}
+	walk(tr.root)
+}
+
+func BenchmarkRTreeInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	tr := NewRTree(nil, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(geo.Point{Lat: 1.22 + rng.Float64()*0.25, Lon: 103.6 + rng.Float64()*0.42})
+	}
+}

@@ -1,0 +1,349 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"taxiqueue/internal/geo"
+	"taxiqueue/internal/mdt"
+)
+
+var t0 = time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC)
+
+func rec(id string, sec int, state mdt.State) mdt.Record {
+	return mdt.Record{
+		Time: t0.Add(time.Duration(sec) * time.Second), TaxiID: id,
+		Pos: geo.Point{Lat: 1.3, Lon: 103.8}, Speed: float64(sec % 60), State: state,
+	}
+}
+
+func TestAppendAndLen(t *testing.T) {
+	s := New()
+	if err := s.AppendAll([]mdt.Record{rec("A", 0, mdt.Free), rec("A", 10, mdt.POB), rec("B", 5, mdt.Free)}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if got := s.Taxis(); len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Fatalf("Taxis = %v", got)
+	}
+}
+
+func TestAppendOutOfOrderRejected(t *testing.T) {
+	s := New()
+	if err := s.Append(rec("A", 100, mdt.Free)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec("A", 50, mdt.Free)); err == nil {
+		t.Fatal("out-of-order append accepted")
+	}
+	// A different taxi at an earlier time is fine.
+	if err := s.Append(rec("B", 50, mdt.Free)); err != nil {
+		t.Fatalf("cross-taxi earlier append rejected: %v", err)
+	}
+	// Equal timestamps are fine.
+	if err := s.Append(rec("A", 100, mdt.POB)); err != nil {
+		t.Fatalf("same-time append rejected: %v", err)
+	}
+}
+
+func TestTrajectoryWindow(t *testing.T) {
+	s := New()
+	for i := 0; i < 2000; i++ { // spans multiple sealed blocks
+		if err := s.Append(rec("A", i*10, mdt.Free)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	from, to := t0.Add(5000*time.Second), t0.Add(10000*time.Second)
+	tr := s.Trajectory("A", from, to)
+	if len(tr) != 500 {
+		t.Fatalf("window returned %d records, want 500", len(tr))
+	}
+	for _, r := range tr {
+		if r.Time.Before(from) || !r.Time.Before(to) {
+			t.Fatalf("record at %v outside window", r.Time)
+		}
+	}
+	if !tr.Sorted() {
+		t.Fatal("windowed trajectory not sorted")
+	}
+	if s.Trajectory("NOPE", from, to) != nil {
+		t.Fatal("unknown taxi returned records")
+	}
+}
+
+func TestFullTrajectory(t *testing.T) {
+	s := New()
+	n := blockTarget*2 + 37 // blocks plus an open tail
+	for i := 0; i < n; i++ {
+		if err := s.Append(rec("A", i, mdt.Free)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := s.FullTrajectory("A")
+	if len(tr) != n {
+		t.Fatalf("FullTrajectory returned %d, want %d", len(tr), n)
+	}
+	if !tr.Sorted() {
+		t.Fatal("full trajectory not sorted")
+	}
+}
+
+func TestScanGlobalOrder(t *testing.T) {
+	s := New()
+	rng := rand.New(rand.NewSource(1))
+	// Interleave 20 taxis with random increments, appended per taxi in
+	// order, then verify the global scan is time-sorted and complete.
+	clock := make([]int, 20)
+	var total int
+	for i := 0; i < 5000; i++ {
+		taxi := rng.Intn(20)
+		clock[taxi] += 1 + rng.Intn(50)
+		id := string(rune('A' + taxi))
+		if err := s.Append(rec(id, clock[taxi], mdt.Free)); err != nil {
+			t.Fatal(err)
+		}
+		total++
+	}
+	var seen []mdt.Record
+	s.Scan(t0, t0.Add(time.Hour*100), func(r mdt.Record) bool {
+		seen = append(seen, r)
+		return true
+	})
+	if len(seen) != total {
+		t.Fatalf("scan returned %d records, want %d", len(seen), total)
+	}
+	if !sort.SliceIsSorted(seen, func(i, j int) bool { return seen[i].Time.Before(seen[j].Time) }) {
+		t.Fatal("global scan not time-sorted")
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	s := New()
+	for i := 0; i < 100; i++ {
+		if err := s.Append(rec("A", i, mdt.Free)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	s.Scan(t0, t0.Add(time.Hour), func(mdt.Record) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("scan visited %d records after early stop, want 10", n)
+	}
+}
+
+func TestScanWindowPruning(t *testing.T) {
+	s := New()
+	for i := 0; i < 3000; i++ {
+		if err := s.Append(rec("A", i*10, mdt.Free)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	from, to := t0.Add(100*time.Second), t0.Add(200*time.Second)
+	var cnt int
+	s.Scan(from, to, func(r mdt.Record) bool {
+		if r.Time.Before(from) || !r.Time.Before(to) {
+			t.Fatalf("scan leaked %v outside window", r.Time)
+		}
+		cnt++
+		return true
+	})
+	if cnt != 10 {
+		t.Fatalf("windowed scan returned %d, want 10", cnt)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := New()
+	states := []mdt.State{mdt.Free, mdt.POB, mdt.STC, mdt.Payment}
+	for i := 0; i < 1500; i++ {
+		r := rec("SH0001A", i*7, states[i%4])
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 700; i++ {
+		if err := s.Append(rec("SH0002B", i*11, mdt.Free)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != s.Len() {
+		t.Fatalf("loaded %d records, want %d", loaded.Len(), s.Len())
+	}
+	a := s.FullTrajectory("SH0001A")
+	b := loaded.FullTrajectory("SH0001A")
+	if len(a) != len(b) {
+		t.Fatalf("trajectory lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("record %d differs after round trip", i)
+		}
+	}
+}
+
+func TestSaveIsAppendableAfter(t *testing.T) {
+	// Save seals open blocks; the store must still accept appends after.
+	s := New()
+	if err := s.Append(rec("A", 0, mdt.Free)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec("A", 10, mdt.POB)); err != nil {
+		t.Fatalf("append after save failed: %v", err)
+	}
+	if got := s.FullTrajectory("A"); len(got) != 2 {
+		t.Fatalf("trajectory after save+append = %d records", len(got))
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a store file"))); err == nil {
+		t.Fatal("Load accepted garbage")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("Load accepted empty input")
+	}
+	// Truncated valid file.
+	s := New()
+	for i := 0; i < 100; i++ {
+		if err := s.Append(rec("A", i, mdt.Free)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("Load accepted truncated file")
+	}
+}
+
+func TestLoadRejectsBitFlips(t *testing.T) {
+	// Byte-level corruption anywhere in the file must either load the
+	// exact same data or fail cleanly — never panic or silently return
+	// garbage counts.
+	s := New()
+	for i := 0; i < 600; i++ {
+		if err := s.Append(rec("SH0001A", i*3, mdt.State(i%4))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		corrupt := append([]byte(nil), orig...)
+		pos := rng.Intn(len(corrupt))
+		corrupt[pos] ^= 1 << uint(rng.Intn(8))
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Load panicked on bit flip at %d: %v", pos, r)
+				}
+			}()
+			loaded, err := Load(bytes.NewReader(corrupt))
+			if err != nil {
+				return // clean rejection
+			}
+			// Accepted: the flip must not have corrupted record counts
+			// beyond what the payload length implies.
+			if loaded.Len() < 0 || loaded.Len() > 2*s.Len() {
+				t.Fatalf("bit flip at %d produced absurd store of %d records", pos, loaded.Len())
+			}
+		}()
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	s := New()
+	if s.Len() != 0 || len(s.Taxis()) != 0 {
+		t.Fatal("empty store not empty")
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 0 {
+		t.Fatal("loaded empty store not empty")
+	}
+	loaded.Scan(t0, t0.Add(time.Hour), func(mdt.Record) bool {
+		t.Fatal("scan of empty store yielded a record")
+		return false
+	})
+}
+
+func BenchmarkAppend(b *testing.B) {
+	s := New()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(rec("A", i, mdt.Free)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScan100k(b *testing.B) {
+	s := New()
+	for taxi := 0; taxi < 50; taxi++ {
+		id := "T" + string(rune('A'+taxi%26)) + string(rune('A'+taxi/26))
+		for i := 0; i < 2000; i++ {
+			if err := s.Append(rec(id, i*5+taxi, mdt.Free)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		s.Scan(t0, t0.Add(100*time.Hour), func(mdt.Record) bool { n++; return true })
+		if n != 100000 {
+			b.Fatalf("scan saw %d", n)
+		}
+	}
+}
+
+func BenchmarkSaveLoad(b *testing.B) {
+	s := New()
+	for i := 0; i < 50000; i++ {
+		if err := s.Append(rec("A", i, mdt.Free)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Load(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package stream
+
+import (
+	"taxiqueue/internal/core"
+	"taxiqueue/internal/geo"
+	"taxiqueue/internal/mdt"
+)
+
+// peaState is the incremental form of Algorithm 1 for one taxi: it carries
+// the σ1/σ2 flags and the open low-speed run between Ingest calls, and must
+// produce exactly the pickups the batch core.ExtractPickups would.
+type peaState struct {
+	run      mdt.Trajectory
+	sigma1   bool
+	sigma2   bool
+	prev     mdt.Record
+	havePrev bool
+}
+
+func (st *peaState) reset() {
+	st.run = st.run[:0]
+	st.sigma1, st.sigma2 = false, false
+}
+
+// step feeds one record through the PEA state machine and returns a
+// committed pickup when a qualifying low-speed run terminates.
+func (st *peaState) step(p mdt.Record, eta float64) (core.Pickup, bool) {
+	if p.State.NonOperational() {
+		st.reset()
+		st.havePrev = false
+		return core.Pickup{}, false
+	}
+	var out core.Pickup
+	committed := false
+	low := p.Speed <= eta
+	switch {
+	case low && !st.sigma1:
+		st.sigma1 = true
+	case low && st.sigma1 && !st.sigma2:
+		if st.havePrev {
+			st.run = append(st.run, st.prev)
+		}
+		st.run = append(st.run, p)
+		st.sigma2 = true
+	case low && st.sigma2:
+		st.run = append(st.run, p)
+	case !low && st.sigma1 && !st.sigma2:
+		st.sigma1 = false
+	case !low && st.sigma2:
+		if pk, ok := commitRun(st.run); ok {
+			out = pk
+			committed = true
+		}
+		st.reset()
+	}
+	st.prev = p
+	st.havePrev = true
+	return out, committed
+}
+
+// commitRun applies Algorithm 1's three constraints, mirroring the batch
+// implementation exactly.
+func commitRun(run mdt.Trajectory) (core.Pickup, bool) {
+	if len(run) < 2 {
+		return core.Pickup{}, false
+	}
+	start, end := run[0].State, run[len(run)-1].State
+	if start.Occupied() && end.Unoccupied() {
+		return core.Pickup{}, false
+	}
+	if start == mdt.Free && end == mdt.OnCall {
+		return core.Pickup{}, false
+	}
+	changed := false
+	for i := 1; i < len(run); i++ {
+		if run[i].State != run[i-1].State {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return core.Pickup{}, false
+	}
+	sub := make(mdt.Trajectory, len(run))
+	copy(sub, run)
+	pts := make([]geo.Point, len(sub))
+	for i, r := range sub {
+		pts[i] = r.Pos
+	}
+	return core.Pickup{Sub: sub, Centroid: geo.Centroid(pts)}, true
+}

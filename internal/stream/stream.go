@@ -1,0 +1,286 @@
+// Package stream is the online counterpart of the batch engine: the
+// deployed system (§7.1) needs *real-time* queueing information, so this
+// package ingests MDT records one at a time, runs the Pickup Extraction
+// Algorithm incrementally per taxi, assigns completed pickup events to the
+// (batch-detected) queue spots, accumulates the §5.2 slot features live,
+// and emits a queue-context label once each time slot is complete.
+//
+// A slot is not final the moment the clock leaves it: a taxi that started
+// waiting inside slot j may only complete its pickup (making the wait
+// observable) one slot later. Slots therefore close with a one-slot lag —
+// slot j is emitted when the clock enters slot j+2 — which bounds the
+// publishing delay at one slot length while capturing almost every
+// cross-slot wait. CurrentEstimate gives a zero-delay provisional answer.
+//
+// Spot locations and QCD thresholds change slowly, so — exactly like the
+// deployed system — they come from the most recent batch run; only the
+// per-slot context is computed online.
+package stream
+
+import (
+	"sort"
+	"time"
+
+	"taxiqueue/internal/core"
+	"taxiqueue/internal/geo"
+	"taxiqueue/internal/mdt"
+	"taxiqueue/internal/spatial"
+)
+
+// EventKind tags what an Ingest call produced.
+type EventKind uint8
+
+const (
+	// PickupDetected fires when a taxi's low-speed run commits as a slow
+	// pickup event at a known queue spot.
+	PickupDetected EventKind = iota
+	// SlotClosed fires when a slot becomes final at a spot with activity:
+	// the slot's features and label.
+	SlotClosed
+)
+
+// Event is one analytics output of the online engine.
+type Event struct {
+	Kind EventKind
+	Spot int // index into the Live engine's spot list
+	// PickupDetected:
+	Pickup  core.Pickup
+	Wait    core.Wait
+	HasWait bool
+	// SlotClosed:
+	Slot     int
+	Features core.SlotFeatures
+	Label    core.QueueType
+}
+
+// Config parameterizes the online engine.
+type Config struct {
+	// Spots are the batch-detected queue spots being watched.
+	Spots []core.QueueSpot
+	// Thresholds are the per-spot QCD thresholds from the batch run,
+	// indexed like Spots.
+	Thresholds []core.Thresholds
+	// Grid is the slot partition for the streaming day.
+	Grid core.SlotGrid
+	// SpeedThresholdKmh is PEA's η_sp; 10 km/h when zero.
+	SpeedThresholdKmh float64
+	// AssignRadiusMeters bounds pickup-to-spot matching; 30 m when zero.
+	AssignRadiusMeters float64
+	// Amplify is the §6.2.1 coverage correction for the live feed.
+	Amplify core.Amplification
+}
+
+// slotAcc accumulates one (spot, slot)'s statistics.
+type slotAcc struct {
+	waitSum time.Duration // street waits that started in this slot
+	waitN   int
+	street  int // departures (wait ends) in this slot
+	booking int
+	depEnds []time.Time
+}
+
+// Live is the online engine. It is not safe for concurrent use; shard by
+// taxi and merge events if parallel ingest is needed.
+type Live struct {
+	cfg     Config
+	spotPts []geo.Point
+	spotIdx *spatial.Grid
+	taxis   map[string]*peaState
+	accs    []map[int]*slotAcc // per spot: open slots
+	closed  int                // all slots below this are final everywhere
+	buf     []int
+}
+
+// NewLive validates cfg and builds the engine.
+func NewLive(cfg Config) *Live {
+	if cfg.SpeedThresholdKmh == 0 {
+		cfg.SpeedThresholdKmh = core.DefaultSpeedThresholdKmh
+	}
+	if cfg.AssignRadiusMeters == 0 {
+		cfg.AssignRadiusMeters = 30
+	}
+	if cfg.Amplify.Factor == 0 {
+		cfg.Amplify = core.NoAmplification
+	}
+	l := &Live{
+		cfg:   cfg,
+		taxis: make(map[string]*peaState),
+		accs:  make([]map[int]*slotAcc, len(cfg.Spots)),
+	}
+	l.spotPts = make([]geo.Point, len(cfg.Spots))
+	for i, s := range cfg.Spots {
+		l.spotPts[i] = s.Pos
+		l.accs[i] = make(map[int]*slotAcc)
+	}
+	l.spotIdx = spatial.NewGrid(l.spotPts, cfg.AssignRadiusMeters)
+	return l
+}
+
+// Ingest processes one record (records must be time-ordered per taxi and
+// roughly time-ordered globally) and returns any analytics events it
+// triggered.
+func (l *Live) Ingest(rec mdt.Record) []Event {
+	var events []Event
+	// Finalize slots the clock has moved safely past (one-slot lag).
+	if cur := l.cfg.Grid.Index(rec.Time); cur >= 0 {
+		events = l.closeBelow(cur-1, events)
+	}
+	// Incremental PEA for this taxi.
+	st := l.taxis[rec.TaxiID]
+	if st == nil {
+		st = &peaState{}
+		l.taxis[rec.TaxiID] = st
+	}
+	if pk, ok := st.step(rec, l.cfg.SpeedThresholdKmh); ok {
+		if ev, matched := l.acceptPickup(pk); matched {
+			events = append(events, ev)
+		}
+	}
+	return events
+}
+
+// closeBelow finalizes every open slot with index < limit, appending
+// SlotClosed events in (slot, spot) order for determinism.
+func (l *Live) closeBelow(limit int, events []Event) []Event {
+	if limit <= l.closed {
+		return events
+	}
+	for slot := l.closed; slot < limit; slot++ {
+		for spot := range l.accs {
+			if acc, ok := l.accs[spot][slot]; ok {
+				events = append(events, l.finalize(spot, slot, acc))
+				delete(l.accs[spot], slot)
+			}
+		}
+	}
+	l.closed = limit
+	return events
+}
+
+// acceptPickup assigns a committed pickup to its nearest spot and folds its
+// wait into the spot's slot accumulators.
+func (l *Live) acceptPickup(pk core.Pickup) (Event, bool) {
+	l.buf = l.spotIdx.Within(pk.Centroid, l.cfg.AssignRadiusMeters, l.buf[:0])
+	best := -1
+	bestD := l.cfg.AssignRadiusMeters + 1
+	for _, id := range l.buf {
+		if d := geo.Equirect(pk.Centroid, l.spotPts[id]); d < bestD {
+			best, bestD = id, d
+		}
+	}
+	if best < 0 {
+		return Event{}, false
+	}
+	ev := Event{Kind: PickupDetected, Spot: best, Pickup: pk}
+	if w, ok := core.ExtractWait(pk.Sub); ok {
+		ev.Wait = w
+		ev.HasWait = true
+		l.foldWait(best, w)
+	}
+	return ev, true
+}
+
+// acc returns (creating if needed) the accumulator for (spot, slot); nil
+// when the slot is already final or outside the grid.
+func (l *Live) acc(spot, slot int) *slotAcc {
+	if slot < l.closed || slot < 0 {
+		return nil
+	}
+	a := l.accs[spot][slot]
+	if a == nil {
+		a = &slotAcc{}
+		l.accs[spot][slot] = a
+	}
+	return a
+}
+
+// foldWait mirrors the batch feature attribution: arrival statistics go to
+// the slot of the wait's start, departure statistics to the slot of its
+// end.
+func (l *Live) foldWait(spot int, w core.Wait) {
+	if w.Street() {
+		if a := l.acc(spot, l.cfg.Grid.Index(w.Start)); a != nil {
+			a.waitSum += w.Duration()
+			a.waitN++
+		}
+	}
+	if a := l.acc(spot, l.cfg.Grid.Index(w.End)); a != nil {
+		if w.Street() {
+			a.street++
+		} else {
+			a.booking++
+		}
+		a.depEnds = append(a.depEnds, w.End)
+	}
+}
+
+// finalize converts an accumulator into a SlotClosed event.
+func (l *Live) finalize(spot, slot int, acc *slotAcc) Event {
+	f := l.features(acc)
+	label := core.Classify([]core.SlotFeatures{f}, l.cfg.Thresholds[spot])[0]
+	return Event{Kind: SlotClosed, Spot: spot, Slot: slot, Features: f, Label: label}
+}
+
+// features converts the accumulators into the §5.2 5-tuple exactly as the
+// batch ComputeFeatures does.
+func (l *Live) features(acc *slotAcc) core.SlotFeatures {
+	amp := l.cfg.Amplify
+	var f core.SlotFeatures
+	if acc.waitN > 0 {
+		f.TWait = acc.waitSum / time.Duration(acc.waitN)
+	}
+	f.NArr = float64(acc.waitN) * amp.Factor
+	f.QLen = f.TWait.Seconds() * f.NArr / l.cfg.Grid.SlotLen.Seconds()
+	deps := acc.depEnds
+	sort.Slice(deps, func(a, b int) bool { return deps[a].Before(deps[b]) })
+	if len(deps) > 1 {
+		total := deps[len(deps)-1].Sub(deps[0])
+		mean := total / time.Duration(len(deps)-1)
+		f.TDep = time.Duration(float64(mean) * amp.IntervalFactor)
+	}
+	f.NDep = float64(len(deps)) * amp.Factor
+	f.StreetDepartures = acc.street
+	f.BookingDepartures = acc.booking
+	return f
+}
+
+// Flush closes every open slot (end of stream) and returns the final
+// events in (slot, spot) order.
+func (l *Live) Flush() []Event {
+	maxSlot := l.closed
+	for spot := range l.accs {
+		for slot := range l.accs[spot] {
+			if slot+1 > maxSlot {
+				maxSlot = slot + 1
+			}
+		}
+	}
+	return l.closeBelow(maxSlot, nil)
+}
+
+// CurrentEstimate returns a provisional context for the spot's slot at
+// `now` by extrapolating the partial counts to a full slot. ok is false
+// when the spot has no activity in that slot or the elapsed share is too
+// small to extrapolate (< 20% of the slot).
+func (l *Live) CurrentEstimate(spot int, now time.Time) (core.QueueType, bool) {
+	j := l.cfg.Grid.Index(now)
+	if j < 0 {
+		return core.Unidentified, false
+	}
+	acc := l.accs[spot][j]
+	if acc == nil || (acc.waitN == 0 && len(acc.depEnds) == 0) {
+		return core.Unidentified, false
+	}
+	from, _ := l.cfg.Grid.Bounds(j)
+	elapsed := now.Sub(from).Seconds()
+	slotSec := l.cfg.Grid.SlotLen.Seconds()
+	if elapsed < 0.2*slotSec {
+		return core.Unidentified, false
+	}
+	f := l.features(acc)
+	scale := slotSec / elapsed
+	f.NArr *= scale
+	f.NDep *= scale
+	f.QLen *= scale
+	return core.Classify([]core.SlotFeatures{f}, l.cfg.Thresholds[spot])[0], true
+}

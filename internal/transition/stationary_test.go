@@ -1,0 +1,95 @@
+package transition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"taxiqueue/internal/core"
+)
+
+// TestStationaryAbsorbing: a chain with an absorbing state concentrates all
+// stationary mass there.
+func TestStationaryAbsorbing(t *testing.T) {
+	var m Matrix
+	m[core.C1][core.C4] = 1 // C1 always decays to C4
+	m[core.C4][core.C4] = 1 // C4 is absorbing
+	pi, err := m.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unobserved states are self-absorbing too, so the mass that started
+	// on them stays; C1's mass must all flow to C4.
+	if pi[core.C1] > 1e-9 {
+		t.Fatalf("transient state retains mass %g", pi[core.C1])
+	}
+	if pi[core.C4] < 0.39 { // its own 1/5 plus C1's 1/5
+		t.Fatalf("absorbing state has mass %g, want ~0.4", pi[core.C4])
+	}
+}
+
+// TestStationaryIsFixedPoint: pi * P = pi for random chains.
+func TestStationaryIsFixedPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		var m Matrix
+		for a := 0; a < numTypes; a++ {
+			for b := 0; b < numTypes; b++ {
+				m[a][b] = float64(rng.Intn(10))
+			}
+		}
+		pi, err := m.Stationary()
+		if err != nil {
+			continue // periodic chains may legitimately fail to converge
+		}
+		p := m.Normalize()
+		for b := 0; b < numTypes; b++ {
+			next := 0.0
+			for a := 0; a < numTypes; a++ {
+				next += pi[a] * p[a][b]
+			}
+			if math.Abs(next-pi[b]) > 1e-6 {
+				t.Fatalf("trial %d: pi not a fixed point at %d: %g vs %g", trial, b, next, pi[b])
+			}
+		}
+	}
+}
+
+// TestStationaryMatchesEmpiricalShares: for a chain built from a long label
+// sequence, the stationary distribution approximates the sequence's label
+// shares.
+func TestStationaryMatchesEmpiricalShares(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Build a sticky two-state sequence: C1 70%, C4 30%.
+	var labels []core.QueueType
+	cur := core.C1
+	for i := 0; i < 200000; i++ {
+		labels = append(labels, cur)
+		switch cur {
+		case core.C1:
+			if rng.Float64() < 0.03 {
+				cur = core.C4
+			}
+		default:
+			if rng.Float64() < 0.07 {
+				cur = core.C1
+			}
+		}
+	}
+	var m Matrix
+	m.Count(labels)
+	pi, err := m.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[core.QueueType]int{}
+	for _, l := range labels {
+		counts[l]++
+	}
+	total := float64(len(labels))
+	observedMass := pi[core.C1] + pi[core.C4]
+	if math.Abs(pi[core.C1]/observedMass-float64(counts[core.C1])/total) > 0.02 {
+		t.Fatalf("stationary C1 share %.3f vs empirical %.3f",
+			pi[core.C1]/observedMass, float64(counts[core.C1])/total)
+	}
+}
