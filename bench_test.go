@@ -168,6 +168,33 @@ func BenchmarkStageDetectSpots(b *testing.B) {
 	}
 }
 
+// BenchmarkStageSweep is the Fig. 6 (eps, minPts) cross product over the
+// day's pickup centroids: one grid index per eps row, cells fanned over the
+// worker pool.
+func BenchmarkStageSweep(b *testing.B) {
+	_, pickups := getDay(b)
+	pts := make([]geo.Point, len(pickups))
+	for i, p := range pickups {
+		pts[i] = p.Centroid
+	}
+	eps := []float64{5, 10, 15, 20}
+	minPts := []int{25, 50, 100, 150}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.SweepParallel(pts, eps, minPts, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStageSplitByTaxi(b *testing.B) {
+	recs, _ := getDay(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mdt.SplitByTaxi(recs)
+	}
+}
+
 func BenchmarkStageFullAnalyze(b *testing.B) {
 	recs, _ := getDay(b)
 	engine, err := core.NewEngine(core.DefaultEngineConfig())
@@ -236,6 +263,28 @@ func BenchmarkAblationDBSCANRTree(b *testing.B) {
 
 func BenchmarkAblationDBSCANNaive(b *testing.B) {
 	benchDBSCANBackend(b, func(pts []geo.Point) spatial.Index { return spatial.NewLinear(pts) })
+}
+
+// Partitioned DBSCAN with union-find merge at fixed worker counts, against
+// the sequential grid run above.
+func BenchmarkAblationDBSCANParallel1(b *testing.B) { benchDBSCANParallel(b, 1) }
+func BenchmarkAblationDBSCANParallel4(b *testing.B) { benchDBSCANParallel(b, 4) }
+func BenchmarkAblationDBSCANParallel8(b *testing.B) { benchDBSCANParallel(b, 8) }
+
+func benchDBSCANParallel(b *testing.B, workers int) {
+	b.Helper()
+	_, pickups := getDay(b)
+	pts := make([]geo.Point, len(pickups))
+	for i, p := range pickups {
+		pts[i] = p.Centroid
+	}
+	params := cluster.Params{EpsMeters: 15, MinPoints: 50}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.DBSCANParallel(pts, params, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // PEA speed-threshold sensitivity (the paper fixes η_sp = 10 km/h).

@@ -6,6 +6,9 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"taxiqueue/internal/geo"
 	"taxiqueue/internal/spatial"
@@ -104,9 +107,13 @@ func DBSCANWithIndex(pts []geo.Point, p Params, idx spatial.Index) (Result, erro
 		return Result{}, err
 	}
 	if idx.Len() != len(pts) {
-		return Result{}, fmt.Errorf("cluster: index holds %d points, input has %d", idx.Len(), len(pts))
+		return Result{}, errIndexMismatch(idx.Len(), len(pts))
 	}
 	return run(pts, p, idx), nil
+}
+
+func errIndexMismatch(indexed, input int) error {
+	return fmt.Errorf("cluster: index holds %d points, input has %d", indexed, input)
 }
 
 // DBSCANNaive is the textbook O(n²) variant, kept as the correctness
@@ -178,18 +185,65 @@ type SweepCell struct {
 
 // Sweep runs DBSCAN for the cross product of eps and minPts values and
 // returns one cell per pair, in row-major (eps-major) order. This is the
-// computation behind Fig. 6.
+// computation behind Fig. 6. The grid index depends only on eps, so one
+// index per eps value is built and reused across the whole minPts axis.
 func Sweep(pts []geo.Point, epsMeters []float64, minPts []int) ([]SweepCell, error) {
-	out := make([]SweepCell, 0, len(epsMeters)*len(minPts))
+	return SweepParallel(pts, epsMeters, minPts, 1)
+}
+
+// SweepParallel is Sweep with the (eps, minPts) cells fanned out over a
+// worker pool. Cell order and contents are identical to Sweep for any
+// worker count; workers <= 0 uses GOMAXPROCS.
+func SweepParallel(pts []geo.Point, epsMeters []float64, minPts []int, workers int) ([]SweepCell, error) {
 	for _, eps := range epsMeters {
 		for _, mp := range minPts {
-			p := Params{EpsMeters: eps, MinPoints: mp}
-			res, err := DBSCAN(pts, p)
-			if err != nil {
+			if err := (Params{EpsMeters: eps, MinPoints: mp}).Validate(); err != nil {
 				return nil, err
 			}
-			out = append(out, SweepCell{Params: p, NumClusters: res.NumClusters, NoisePoints: res.NoiseCount()})
 		}
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]SweepCell, len(epsMeters)*len(minPts))
+	cell := func(row, col int, idx spatial.Index) {
+		p := Params{EpsMeters: epsMeters[row], MinPoints: minPts[col]}
+		res := run(pts, p, idx)
+		out[row*len(minPts)+col] = SweepCell{Params: p, NumClusters: res.NumClusters, NoisePoints: res.NoiseCount()}
+	}
+	if workers == 1 || len(out) < 2 {
+		for row := range epsMeters {
+			idx := spatial.NewGrid(pts, epsMeters[row])
+			for col := range minPts {
+				cell(row, col, idx)
+			}
+		}
+		return out, nil
+	}
+	// Stage 1: one index per eps value, built concurrently. Stage 2: fan the
+	// full cell grid over the pool; the indexes are read-only by then, and
+	// every cell lands at a fixed output position, so results are
+	// deterministic for any worker count.
+	grids := make([]spatial.Index, len(epsMeters))
+	fanOut := func(n int, task func(int)) {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < min(workers, n); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					task(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	fanOut(len(epsMeters), func(row int) { grids[row] = spatial.NewGrid(pts, epsMeters[row]) })
+	fanOut(len(out), func(i int) { cell(i/len(minPts), i%len(minPts), grids[i/len(minPts)]) })
 	return out, nil
 }

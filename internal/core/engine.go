@@ -100,6 +100,14 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if cfg.Detector.Cluster.EpsMeters == 0 && cfg.Detector.Cluster.MinPoints == 0 {
 		cfg.Detector = DefaultDetectorConfig()
 	}
+	if cfg.Parallelism < 0 {
+		return nil, fmt.Errorf("core: negative parallelism %d", cfg.Parallelism)
+	}
+	if cfg.Detector.Parallelism == 0 {
+		// One knob drives the whole pipeline: PEA fan-out, per-zone
+		// clustering, DBSCAN itself and per-spot QCD.
+		cfg.Detector.Parallelism = cfg.Parallelism
+	}
 	if err := cfg.Detector.Cluster.Validate(); err != nil {
 		return nil, err
 	}

@@ -2,11 +2,16 @@ package core
 
 import (
 	"runtime"
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"taxiqueue/internal/mdt"
 )
+
+// peaChunk is the number of taxi indexes a worker claims per atomic-cursor
+// fetch: one shared-counter bump per chunk instead of one channel handoff
+// per taxi.
+const peaChunk = 16
 
 // ExtractAllParallel is ExtractAll with the per-taxi PEA fanned out over a
 // worker pool. Results are identical to the sequential version (taxis are
@@ -16,30 +21,28 @@ func ExtractAllParallel(byTaxi map[string]mdt.Trajectory, speedThresholdKmh floa
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	ids := make([]string, 0, len(byTaxi))
-	for id := range byTaxi {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
+	ids := sortedTaxiIDs(byTaxi)
 	if workers == 1 || len(ids) < 2*workers {
-		return ExtractAll(byTaxi, speedThresholdKmh)
+		return extractAllSeq(byTaxi, ids, speedThresholdKmh)
 	}
 	perTaxi := make([][]Pickup, len(ids))
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				perTaxi[i] = ExtractPickups(byTaxi[ids[i]], speedThresholdKmh)
+			for {
+				lo := int(cursor.Add(peaChunk)) - peaChunk
+				if lo >= len(ids) {
+					return
+				}
+				for i := lo; i < min(lo+peaChunk, len(ids)); i++ {
+					perTaxi[i] = ExtractPickups(byTaxi[ids[i]], speedThresholdKmh)
+				}
 			}
 		}()
 	}
-	for i := range ids {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 	total := 0
 	for _, ps := range perTaxi {

@@ -129,11 +129,22 @@ func commitRun(run mdt.Trajectory) (Pickup, bool) {
 // multi-taxi pickup set W (Definition 4), flattened in ascending taxi-ID
 // order so downstream clustering is deterministic.
 func ExtractAll(byTaxi map[string]mdt.Trajectory, speedThresholdKmh float64) []Pickup {
+	return extractAllSeq(byTaxi, sortedTaxiIDs(byTaxi), speedThresholdKmh)
+}
+
+// sortedTaxiIDs returns byTaxi's keys in ascending order.
+func sortedTaxiIDs(byTaxi map[string]mdt.Trajectory) []string {
 	ids := make([]string, 0, len(byTaxi))
 	for id := range byTaxi {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+	return ids
+}
+
+// extractAllSeq is the sequential PEA loop over a pre-sorted ID list, shared
+// by ExtractAll and ExtractAllParallel's small-input fallback.
+func extractAllSeq(byTaxi map[string]mdt.Trajectory, ids []string, speedThresholdKmh float64) []Pickup {
 	var out []Pickup
 	for _, id := range ids {
 		out = append(out, ExtractPickups(byTaxi[id], speedThresholdKmh)...)

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"taxiqueue/internal/citymap"
 	"taxiqueue/internal/cluster"
@@ -34,6 +36,10 @@ type DetectorConfig struct {
 	// ByZone splits the island into the four Fig. 5 zones and clusters
 	// each independently — the paper's mitigation for DBSCAN's O(n²) cost.
 	ByZone bool
+	// Parallelism fans the per-zone loop and DBSCAN itself over a worker
+	// pool; 0 uses GOMAXPROCS, 1 forces the sequential path. Results are
+	// identical at any setting.
+	Parallelism int
 }
 
 // DefaultDetectorConfig returns the paper's settings.
@@ -48,28 +54,67 @@ func DefaultDetectorConfig() DetectorConfig {
 // ordered by descending pickup count (ties broken by position for
 // determinism).
 func DetectSpots(pickups []Pickup, cfg DetectorConfig) ([]QueueSpot, error) {
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	pts := make([]geo.Point, len(pickups))
 	for i, p := range pickups {
 		pts[i] = p.Centroid
 	}
 	var spots []QueueSpot
 	if cfg.ByZone {
-		// Partition the GPS location set C into the four zone subsets and
-		// run DBSCAN on each (§6.1.2).
-		zonePts := make([][]geo.Point, citymap.NumZones)
-		for _, p := range pts {
+		// Partition the GPS location set C into the four zone subsets
+		// (§6.1.2): count, then carve one pre-sized backing array into
+		// per-zone sub-slices instead of growing four append targets.
+		zoneIDs := make([]uint8, len(pts))
+		var counts [citymap.NumZones]int
+		for i, p := range pts {
 			z := citymap.ZoneOf(p)
-			zonePts[z] = append(zonePts[z], p)
+			zoneIDs[i] = uint8(z)
+			counts[z]++
+		}
+		backing := make([]geo.Point, len(pts))
+		var start [citymap.NumZones + 1]int
+		for z := 0; z < citymap.NumZones; z++ {
+			start[z+1] = start[z] + counts[z]
+		}
+		cursor := start
+		for i, p := range pts {
+			z := zoneIDs[i]
+			backing[cursor[z]] = p
+			cursor[z]++
+		}
+		// Cluster the four zones concurrently; each zone's DBSCAN further
+		// parallelizes internally when the zone is large enough.
+		var perZone [citymap.NumZones][]QueueSpot
+		var errs [citymap.NumZones]error
+		runZone := func(z int) {
+			perZone[z], errs[z] = clusterZone(backing[start[z]:start[z+1]], citymap.Zone(z), cfg.Cluster, workers)
+		}
+		if workers == 1 {
+			for z := 0; z < citymap.NumZones; z++ {
+				runZone(z)
+			}
+		} else {
+			var wg sync.WaitGroup
+			for z := 0; z < citymap.NumZones; z++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					runZone(z)
+				}()
+			}
+			wg.Wait()
 		}
 		for z := 0; z < citymap.NumZones; z++ {
-			zs, err := clusterZone(zonePts[z], citymap.Zone(z), cfg.Cluster)
-			if err != nil {
-				return nil, err
+			if errs[z] != nil {
+				return nil, errs[z]
 			}
-			spots = append(spots, zs...)
+			spots = append(spots, perZone[z]...)
 		}
 	} else {
-		zs, err := clusterZone(pts, 0, cfg.Cluster)
+		zs, err := clusterZone(pts, 0, cfg.Cluster, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -91,11 +136,11 @@ func DetectSpots(pickups []Pickup, cfg DetectorConfig) ([]QueueSpot, error) {
 	return spots, nil
 }
 
-func clusterZone(pts []geo.Point, zone citymap.Zone, p cluster.Params) ([]QueueSpot, error) {
+func clusterZone(pts []geo.Point, zone citymap.Zone, p cluster.Params, workers int) ([]QueueSpot, error) {
 	if len(pts) == 0 {
 		return nil, nil
 	}
-	res, err := cluster.DBSCAN(pts, p)
+	res, err := cluster.DBSCANParallel(pts, p, workers)
 	if err != nil {
 		return nil, err
 	}

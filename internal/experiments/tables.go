@@ -49,7 +49,7 @@ func (s *Suite) Fig6() ([]cluster.SweepCell, string, error) {
 	}
 	epsVals := []float64{5, 10, 15, 20}
 	minPts := []int{25, 50, 100, 150}
-	cells, err := cluster.Sweep(pts, epsVals, minPts)
+	cells, err := cluster.SweepParallel(pts, epsVals, minPts, 0)
 	if err != nil {
 		return nil, "", err
 	}

@@ -195,10 +195,44 @@ func (tr Trajectory) Sorted() bool {
 // SplitByTaxi groups records by taxi ID into per-taxi trajectories,
 // preserving the relative order of each taxi's records. The input must be
 // time-ordered per taxi (globally time-ordered input satisfies this).
+//
+// The grouping is a counting sort into one backing array: a first pass
+// tallies per-taxi record counts, a second places each record at its
+// taxi's cursor, and each trajectory is a capacity-clamped sub-slice of the
+// backing array — no per-taxi append growth, and the whole dataset stays
+// contiguous for the PEA scans that follow.
 func SplitByTaxi(recs []Record) map[string]Trajectory {
-	out := make(map[string]Trajectory)
-	for _, r := range recs {
-		out[r.TaxiID] = append(out[r.TaxiID], r)
+	type group struct {
+		id     string
+		cursor int // fill position during placement; ends at the group's limit
+		count  int
+	}
+	idx := make(map[string]int32, 64)
+	var groups []group
+	for i := range recs {
+		id := recs[i].TaxiID
+		if g, ok := idx[id]; ok {
+			groups[g].count++
+		} else {
+			idx[id] = int32(len(groups))
+			groups = append(groups, group{id: id, count: 1})
+		}
+	}
+	off := 0
+	for i := range groups {
+		groups[i].cursor = off
+		off += groups[i].count
+	}
+	backing := make([]Record, len(recs))
+	for i := range recs {
+		g := &groups[idx[recs[i].TaxiID]]
+		backing[g.cursor] = recs[i]
+		g.cursor++
+	}
+	out := make(map[string]Trajectory, len(groups))
+	for i := range groups {
+		g := groups[i]
+		out[g.id] = Trajectory(backing[g.cursor-g.count : g.cursor : g.cursor])
 	}
 	return out
 }

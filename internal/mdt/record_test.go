@@ -197,6 +197,55 @@ func TestSplitByTaxi(t *testing.T) {
 	}
 }
 
+// TestSplitByTaxiPreservesOrderAndIsolation checks the counting-sort
+// grouping: interleaved input keeps each taxi's relative record order, and
+// the capacity-clamped sub-slices cannot bleed into a neighbouring taxi's
+// region of the shared backing array when appended to.
+func TestSplitByTaxiPreservesOrderAndIsolation(t *testing.T) {
+	base := sampleRecord()
+	ids := []string{"SH0003C", "SH0001A", "SH0002B", "SH0001A", "SH0003C", "SH0002B", "SH0001A"}
+	recs := make([]Record, len(ids))
+	for i, id := range ids {
+		recs[i] = base
+		recs[i].TaxiID = id
+		recs[i].Speed = float64(i) // per-record fingerprint
+	}
+	byTaxi := SplitByTaxi(recs)
+	if len(byTaxi) != 3 {
+		t.Fatalf("got %d taxis, want 3", len(byTaxi))
+	}
+	wantSpeeds := map[string][]float64{
+		"SH0001A": {1, 3, 6},
+		"SH0002B": {2, 5},
+		"SH0003C": {0, 4},
+	}
+	for id, speeds := range wantSpeeds {
+		tr := byTaxi[id]
+		if len(tr) != len(speeds) {
+			t.Fatalf("taxi %s has %d records, want %d", id, len(tr), len(speeds))
+		}
+		for i, want := range speeds {
+			if tr[i].Speed != want {
+				t.Errorf("taxi %s record %d has speed %g, want %g", id, i, tr[i].Speed, want)
+			}
+		}
+	}
+	// Appending to one trajectory must reallocate, not overwrite another's
+	// records in the shared backing array.
+	extra := base
+	extra.TaxiID = "SH0003C"
+	_ = append(byTaxi["SH0003C"], extra)
+	if byTaxi["SH0001A"][0].Speed != 1 || byTaxi["SH0002B"][0].Speed != 2 {
+		t.Error("append to one trajectory corrupted a neighbouring one")
+	}
+}
+
+func TestSplitByTaxiEmpty(t *testing.T) {
+	if got := SplitByTaxi(nil); len(got) != 0 {
+		t.Fatalf("SplitByTaxi(nil) returned %d groups", len(got))
+	}
+}
+
 func TestTrajectorySorted(t *testing.T) {
 	base := sampleRecord()
 	later := base

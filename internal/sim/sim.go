@@ -155,6 +155,13 @@ func New(cfg Config) *Sim {
 		end:  cfg.Start.Add(cfg.Duration),
 	}
 	s.truth = newTruth(cfg.City)
+	// Pre-size the record log: each observed taxi emits roughly one record
+	// per mean log interval (roam and trip intervals bracket the mix), so a
+	// single up-front allocation replaces the ~20 doublings a 2M-record day
+	// would otherwise pay (~180 MB of copying at full scale).
+	meanIntervalSec := (cfg.RoamLogIntervalSec + cfg.TripLogIntervalSec) / 2
+	est := int(float64(cfg.NumTaxis) * cfg.ObservedFraction * cfg.Duration.Seconds() / meanIntervalSec)
+	s.recs = make([]mdt.Record, 0, est)
 	s.initTaxis()
 	s.initSpots()
 	return s

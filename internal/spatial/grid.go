@@ -33,24 +33,31 @@ type Index interface {
 
 // Grid is a uniform-cell spatial hash over a fixed point set. Cell size is
 // chosen by the caller; for DBSCAN the natural choice is the eps radius.
+// After construction the grid is read-only and safe for concurrent queries.
 type Grid struct {
 	pts      []geo.Point
 	origin   geo.Point
-	cellDeg  float64 // cell size in degrees latitude
-	cellDegX float64 // cell size in degrees longitude at the origin latitude
-	cells    map[uint64][]int32
+	cellDeg  float64          // cell size in degrees latitude
+	cellDegX float64          // cell size in degrees longitude at the origin latitude
+	cellID   map[uint64]int32 // cell key → index into spans
+	spans    []gridSpan       // per-cell [lo, hi) range into ids
+	ids      []int32          // all point IDs, grouped by cell
 }
+
+type gridSpan struct{ lo, hi int32 }
 
 // NewGrid builds a grid index over pts with the given cell size in meters.
 // The point slice is retained (not copied); it must not be mutated while
-// the index is in use.
+// the index is in use. Construction is two-pass: a counting pass sizes each
+// cell, then IDs are placed into one backing array carved into per-cell
+// spans — no per-cell append growth.
 func NewGrid(pts []geo.Point, cellMeters float64) *Grid {
 	if cellMeters <= 0 {
 		cellMeters = 15
 	}
 	g := &Grid{
-		pts:   pts,
-		cells: make(map[uint64][]int32, len(pts)/2+1),
+		pts:    pts,
+		cellID: make(map[uint64]int32, len(pts)/2+1),
 	}
 	if len(pts) > 0 {
 		g.origin = geo.BoundingRect(pts).Center()
@@ -58,11 +65,39 @@ func NewGrid(pts []geo.Point, cellMeters float64) *Grid {
 	metersPerDegLat := 2 * math.Pi * geo.EarthRadiusMeters / 360
 	g.cellDeg = cellMeters / metersPerDegLat
 	g.cellDegX = cellMeters / (metersPerDegLat * math.Cos(g.origin.Lat*math.Pi/180))
-	for i, p := range pts {
+	counts := make([]int32, 0, 64)
+	for _, p := range pts {
 		key := g.cellKey(p)
-		g.cells[key] = append(g.cells[key], int32(i))
+		if id, ok := g.cellID[key]; ok {
+			counts[id]++
+		} else {
+			g.cellID[key] = int32(len(counts))
+			counts = append(counts, 1)
+		}
+	}
+	g.spans = make([]gridSpan, len(counts))
+	off := int32(0)
+	for i, c := range counts {
+		g.spans[i] = gridSpan{lo: off, hi: off} // hi advances during placement
+		off += c
+	}
+	g.ids = make([]int32, len(pts))
+	for i, p := range pts {
+		sp := &g.spans[g.cellID[g.cellKey(p)]]
+		g.ids[sp.hi] = int32(i)
+		sp.hi++
 	}
 	return g
+}
+
+// cellIDs returns the point IDs of one cell, or nil when the cell is empty.
+func (g *Grid) cellIDs(key uint64) []int32 {
+	id, ok := g.cellID[key]
+	if !ok {
+		return nil
+	}
+	sp := g.spans[id]
+	return g.ids[sp.lo:sp.hi]
 }
 
 func (g *Grid) cellCoords(p geo.Point) (int32, int32) {
@@ -86,7 +121,7 @@ func (g *Grid) Range(rect geo.Rect, dst []int) []int {
 	for cx := loX; cx <= hiX; cx++ {
 		for cy := loY; cy <= hiY; cy++ {
 			key := uint64(uint32(cx))<<32 | uint64(uint32(cy))
-			for _, id := range g.cells[key] {
+			for _, id := range g.cellIDs(key) {
 				if rect.Contains(g.pts[id]) {
 					dst = append(dst, int(id))
 				}
@@ -104,7 +139,7 @@ func (g *Grid) Within(center geo.Point, radiusMeters float64, dst []int) []int {
 	for cx := loX; cx <= hiX; cx++ {
 		for cy := loY; cy <= hiY; cy++ {
 			key := uint64(uint32(cx))<<32 | uint64(uint32(cy))
-			for _, id := range g.cells[key] {
+			for _, id := range g.cellIDs(key) {
 				if geo.Equirect(center, g.pts[id]) <= radiusMeters {
 					dst = append(dst, int(id))
 				}

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Runs the stage and ablation benchmark suites with -benchmem, records the
+# perf trajectory as JSON (ns/op, B/op, allocs/op per benchmark), and
+# race-tests the concurrent packages.
+#
+# Usage:
+#   scripts/bench.sh                 # default: BENCH_OUT=BENCH_PR1.json
+#   BENCHTIME=3x scripts/bench.sh    # more iterations per benchmark
+#   BENCH_OUT=after.json scripts/bench.sh
+#
+# Compare two recorded runs with benchstat (golang.org/x/perf) over the raw
+# text files the script leaves in /tmp, or diff the JSON directly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${BENCH_OUT:-BENCH_PR1.json}"
+benchtime="${BENCHTIME:-1x}"
+raw="$(mktemp /tmp/bench_raw.XXXXXX.txt)"
+
+echo ">> go test -bench 'Benchmark(Stage|Ablation)' -benchmem -benchtime $benchtime ."
+go test -run '^$' -bench 'Benchmark(Stage|Ablation)' -benchmem \
+	-benchtime "$benchtime" -timeout 45m . | tee "$raw"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { n = 0 }
+/^Benchmark/ && /ns\/op/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+	ns = ""; bytes = ""; allocs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op")     ns     = $(i - 1)
+		if ($i == "B/op")      bytes  = $(i - 1)
+		if ($i == "allocs/op") allocs = $(i - 1)
+	}
+	if (ns == "") next
+	if (n++) printf(",\n")
+	printf("    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns)
+	if (bytes != "")  printf(", \"b_per_op\": %s", bytes)
+	if (allocs != "") printf(", \"allocs_per_op\": %s", allocs)
+	printf("}")
+}
+END { print "" }
+' "$raw" > /tmp/bench_body.$$
+
+{
+	echo "{"
+	echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+	echo "  \"go\": \"$(go env GOVERSION)\","
+	echo "  \"cpus\": $(nproc),"
+	echo "  \"benchmarks\": ["
+	cat /tmp/bench_body.$$
+	echo "  ]"
+	echo "}"
+} > "$out"
+rm -f /tmp/bench_body.$$
+echo ">> wrote $out"
+
+echo ">> go test -race ./internal/cluster ./internal/core"
+go test -race -count=1 ./internal/cluster ./internal/core
+echo ">> race check clean"
