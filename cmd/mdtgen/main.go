@@ -1,26 +1,104 @@
 // Command mdtgen generates a synthetic MDT log dataset: a full simulated
 // day (or any duration) of event-driven taxi telemetry in the Table 2 text
-// format or the binary store format.
+// format or the binary store format — or replays it in timestamp order
+// against a live queued /ingest endpoint.
 //
 // Usage:
 //
 //	mdtgen -o day.log                        # text format
 //	mdtgen -o day.tqs -format store          # binary store
 //	mdtgen -scale 0.25 -taxis 1000 -faults=false -duration 6h
+//	mdtgen -stream http://localhost:8080/ingest -rate 5000
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"time"
 
 	"taxiqueue/internal/citymap"
+	"taxiqueue/internal/ingest"
 	"taxiqueue/internal/mdt"
 	"taxiqueue/internal/sim"
 	"taxiqueue/internal/store"
 )
+
+// postBatch sends one record batch and returns how many the server
+// accepted along with the HTTP status.
+func postBatch(client *http.Client, url string, recs []mdt.Record, encoding string) (int, int, error) {
+	var body bytes.Buffer
+	ct := ingest.ContentTypeJSONLines
+	if encoding == "binary" {
+		ct = ingest.ContentTypeBinary
+		body.Write(ingest.EncodeBinary(nil, recs))
+	} else if err := ingest.EncodeJSONLines(&body, recs); err != nil {
+		return 0, 0, err
+	}
+	resp, err := client.Post(url, ct, &body)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var ir struct {
+		Accepted int    `json:"accepted"`
+		Error    string `json:"error"`
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, resp.StatusCode, err
+	}
+	if err := json.Unmarshal(raw, &ir); err != nil {
+		return 0, resp.StatusCode, fmt.Errorf("bad /ingest reply (%d): %s", resp.StatusCode, raw)
+	}
+	if ir.Error != "" && resp.StatusCode != http.StatusTooManyRequests {
+		return ir.Accepted, resp.StatusCode, fmt.Errorf("/ingest: %s", ir.Error)
+	}
+	return ir.Accepted, resp.StatusCode, nil
+}
+
+// streamFeed replays recs (already in timestamp order) to a live /ingest
+// endpoint, pacing to rate records/sec when rate > 0 and retrying the
+// unaccepted remainder on 429 backpressure.
+func streamFeed(url string, recs []mdt.Record, rate float64, batchSize int, encoding string) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	start := time.Now()
+	sent, retries := 0, 0
+	for sent < len(recs) {
+		if rate > 0 {
+			due := start.Add(time.Duration(float64(sent) / rate * float64(time.Second)))
+			time.Sleep(time.Until(due))
+		}
+		n := batchSize
+		if n > len(recs)-sent {
+			n = len(recs) - sent
+		}
+		accepted, status, err := postBatch(client, url, recs[sent:sent+n], encoding)
+		if err != nil {
+			return err
+		}
+		switch status {
+		case http.StatusOK:
+			sent += n
+		case http.StatusTooManyRequests:
+			// The server took a prefix; advance past it and retry the rest.
+			sent += accepted
+			retries++
+			time.Sleep(100 * time.Millisecond)
+		default:
+			return fmt.Errorf("/ingest: unexpected status %d", status)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "mdtgen: streamed %d records in %v (%.0f rec/s, %d backpressure retries)\n",
+		len(recs), elapsed.Round(time.Millisecond), float64(len(recs))/elapsed.Seconds(), retries)
+	return nil
+}
 
 func main() {
 	out := flag.String("o", "-", "output file ('-' for stdout)")
@@ -33,6 +111,11 @@ func main() {
 	faults := flag.Bool("faults", true, "inject the §6.1.1 error modes")
 	cityIn := flag.String("city", "", "load the landmark registry from this JSON file instead of generating one")
 	cityOut := flag.String("savecity", "", "write the landmark registry used to this JSON file")
+	streamURL := flag.String("stream", "", "replay the feed to this /ingest URL instead of writing a file")
+	rate := flag.Float64("rate", 0, "records per second when streaming (0 = as fast as possible)")
+	batch := flag.Int("batch", 500, "records per POST when streaming")
+	encoding := flag.String("encoding", "binary", "wire encoding when streaming: binary or json")
+	flush := flag.Bool("flush", true, "POST <stream>/flush after the feed so every slot is finalized")
 	flag.Parse()
 
 	start, err := time.Parse("2006-01-02", *date)
@@ -74,21 +157,41 @@ func main() {
 		InjectFaults: *faults,
 	})
 
-	w := os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
-		if err != nil {
+	if *streamURL != "" {
+		if *encoding != "binary" && *encoding != "json" {
+			log.Fatalf("unknown -encoding %q (want binary or json)", *encoding)
+		}
+		if err := streamFeed(*streamURL, res.Records, *rate, *batch, *encoding); err != nil {
 			log.Fatal(err)
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
+		if *flush {
+			resp, err := http.Post(*streamURL+"/flush", "", nil)
+			if err != nil {
 				log.Fatal(err)
 			}
-		}()
-		w = f
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				log.Fatalf("flush: status %d", resp.StatusCode)
+			}
+		}
+		return
 	}
+
 	switch *format {
 	case "text":
+		w := os.Stdout
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer func() {
+				if err := f.Close(); err != nil {
+					log.Fatal(err)
+				}
+			}()
+			w = f
+		}
 		if err := mdt.WriteText(w, res.Records); err != nil {
 			log.Fatal(err)
 		}
@@ -97,7 +200,12 @@ func main() {
 		if err := st.AppendAll(res.Records); err != nil {
 			log.Fatal(err)
 		}
-		if err := st.Save(w); err != nil {
+		if *out == "-" {
+			if err := st.Save(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		} else if err := st.SaveFile(*out); err != nil {
+			// Atomic temp-file + rename: a crash never leaves a torn file.
 			log.Fatal(err)
 		}
 	default:

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+	"time"
+
+	"taxiqueue/internal/core"
+	"taxiqueue/internal/ingest"
+	"taxiqueue/internal/stream"
+)
+
+// liveServer serves /spots from the live ingestion service instead of the
+// batch analysis: the nightly batch run still supplies the spot positions
+// and per-spot thresholds, but every context comes from the records POSTed
+// to /ingest, and a slot is only served once no shard can still change it.
+type liveServer struct {
+	srv *server
+	svc *ingest.Service
+}
+
+// liveStreamConfig derives the per-shard engine configuration from the
+// batch result, exactly like the deployed system hands the nightly spots
+// and thresholds to the online tier.
+func liveStreamConfig(res *core.Result) stream.Config {
+	spots := make([]core.QueueSpot, len(res.Spots))
+	ths := make([]core.Thresholds, len(res.Spots))
+	for i := range res.Spots {
+		spots[i] = res.Spots[i].Spot
+		ths[i] = res.Spots[i].Thresholds
+	}
+	return stream.Config{
+		Spots: spots, Thresholds: ths,
+		Grid: res.Config.Grid, Amplify: res.Config.Amplify,
+	}
+}
+
+// handleSpots is the live-mode /spots: labels come from the ingest
+// aggregator; a slot still open (or never fed) serves as Unidentified.
+func (l *liveServer) handleSpots(w http.ResponseWriter, r *http.Request) {
+	l.srv.mu.RLock()
+	res := l.srv.result
+	grid := l.srv.grid
+	city := l.srv.city
+	l.srv.mu.RUnlock()
+	at := grid.Start.Add(12 * time.Hour)
+	if v := r.URL.Query().Get("at"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			http.Error(w, "bad 'at' timestamp", http.StatusBadRequest)
+			return
+		}
+		at = t
+	}
+	slot := grid.Index(at)
+	out := make([]spotJSON, 0, len(res.Spots))
+	for i := range res.Spots {
+		sa := &res.Spots[i]
+		label := core.Unidentified
+		if lv, ok := l.svc.Label(i, slot); ok {
+			label = lv
+		}
+		sj := spotJSON{
+			Lat: sa.Spot.Pos.Lat, Lon: sa.Spot.Pos.Lon,
+			Zone: sa.Spot.Zone.String(), Pickups: sa.Spot.PickupCount,
+			Context: label.String(),
+		}
+		if lm, d, ok := city.NearestLandmark(sa.Spot.Pos); ok && d < 50 {
+			sj.Landmark = lm.Name
+		}
+		out = append(out, sj)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		log.Printf("encode: %v", err)
+	}
+}
+
+// registerLive mounts the ingestion endpoints and swaps /spots to the live
+// view. Call after the initial batch analysis.
+func registerLive(mux *http.ServeMux, l *liveServer) {
+	mux.HandleFunc("/spots", l.handleSpots)
+	mux.HandleFunc("/ingest", l.svc.HandleIngest)
+	mux.HandleFunc("/ingest/stats", l.svc.HandleStats)
+	mux.HandleFunc("/ingest/flush", l.svc.HandleFlush)
+}

@@ -9,9 +9,18 @@
 //	GET /monitors ...           the vehicle monitor service (see internal/monitor)
 //	GET /healthz
 //
+// With -live the batch run only bootstraps the spot positions and
+// thresholds; contexts are then served from records POSTed to /ingest
+// (see internal/ingest):
+//
+//	POST /ingest                JSON-lines or binary MDT record batches
+//	POST /ingest/flush          finalize every slot (end of feed)
+//	GET  /ingest/stats          per-shard accepted/rejected/dropped/lag
+//
 // Usage:
 //
 //	queued -addr :8080 -scale 0.25 -refresh 0   # refresh 0 = analyze once
+//	queued -addr :8080 -live -shards 4 -wal /tmp/tq-wal
 package main
 
 import (
@@ -20,7 +29,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"taxiqueue/internal/citymap"
@@ -28,6 +40,7 @@ import (
 	"taxiqueue/internal/cluster"
 	"taxiqueue/internal/core"
 	"taxiqueue/internal/geo"
+	"taxiqueue/internal/ingest"
 	"taxiqueue/internal/monitor"
 	"taxiqueue/internal/recommend"
 	"taxiqueue/internal/sim"
@@ -182,6 +195,12 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "city scale")
 	minPts := flag.Int("minpts", 50, "DBSCAN min-points")
 	refresh := flag.Duration("refresh", 0, "recompute interval (0 = once at startup)")
+	live := flag.Bool("live", false, "serve contexts from the live /ingest feed (batch run only bootstraps spots)")
+	shards := flag.Int("shards", 4, "live mode: ingest shard count")
+	queueDepth := flag.Int("queue", 1024, "live mode: per-shard queue depth")
+	bp := flag.String("bp", "block", "live mode: backpressure policy, block|drop-oldest")
+	walDir := flag.String("wal", "", "live mode: WAL directory (empty = durability off)")
+	checkpoint := flag.Int("checkpoint", 4096, "live mode: records between WAL checkpoints")
 	flag.Parse()
 
 	srv := &server{}
@@ -190,6 +209,46 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("queued: %d queue spots ready", len(srv.result.Spots))
+
+	var liveSrv *liveServer
+	if *live {
+		policy := ingest.Block
+		switch *bp {
+		case "block":
+		case "drop-oldest":
+			policy = ingest.DropOldest
+		default:
+			log.Fatalf("queued: unknown -bp %q (want block or drop-oldest)", *bp)
+		}
+		if *refresh > 0 {
+			log.Printf("queued: -refresh is ignored in live mode (spots are fixed at startup)")
+			*refresh = 0
+		}
+		svc, err := ingest.NewService(ingest.Config{
+			Stream:          liveStreamConfig(srv.result),
+			Clean:           clean.Config{ValidFrame: citymap.Island},
+			Shards:          *shards,
+			QueueDepth:      *queueDepth,
+			Policy:          policy,
+			WALDir:          *walDir,
+			CheckpointEvery: *checkpoint,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		liveSrv = &liveServer{srv: srv, svc: svc}
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			log.Printf("queued: draining ingest shards...")
+			if err := svc.Close(); err != nil {
+				log.Printf("queued: close: %v", err)
+			}
+			os.Exit(0)
+		}()
+		log.Printf("queued: live ingest on /ingest (%d shards, %s)", *shards, policy)
+	}
 
 	if *refresh > 0 {
 		go func() {
@@ -219,7 +278,11 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", handleIndex)
-	mux.HandleFunc("/spots", srv.handleSpots)
+	if liveSrv != nil {
+		registerLive(mux, liveSrv)
+	} else {
+		mux.HandleFunc("/spots", srv.handleSpots)
+	}
 	mux.HandleFunc("/recommend", srv.handleRecommend)
 	mux.Handle("/monitors", monSvc)
 	mux.Handle("/monitors/", monSvc)

@@ -1,0 +1,75 @@
+package ingest
+
+import (
+	"sync"
+
+	"taxiqueue/internal/core"
+	"taxiqueue/internal/stream"
+)
+
+// cellKey addresses one (spot, slot) cell.
+type cellKey struct{ spot, slot int }
+
+// cell is one merged (spot, slot): raw statistics while shards are still
+// closing, then the computed context once first served.
+type cell struct {
+	stats stream.SlotStats
+	label core.QueueType
+	feats core.SlotFeatures
+	done  bool
+}
+
+// aggregator merges per-shard slot closings into served contexts. Because
+// stream.SlotStats merging is exact (sums and concatenations, with
+// departure ends re-sorted at feature time), the merged context equals what
+// one engine over the whole fleet would have produced; the Service gates
+// reads on the cross-shard watermark so a cell is only evaluated once no
+// shard can still contribute.
+type aggregator struct {
+	grid core.SlotGrid
+	ths  []core.Thresholds
+	amp  core.Amplification
+
+	mu    sync.Mutex
+	cells map[cellKey]*cell
+}
+
+// add merges every SlotClosed event's raw statistics.
+func (a *aggregator) add(events []stream.Event) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind != stream.SlotClosed {
+			continue
+		}
+		k := cellKey{ev.Spot, ev.Slot}
+		c := a.cells[k]
+		if c == nil {
+			c = &cell{}
+			a.cells[k] = c
+		}
+		c.stats.Merge(&ev.Stats)
+	}
+}
+
+// context returns the merged features and label for a final (spot, slot),
+// computing and caching them on first read. A cell with no activity
+// classifies exactly like an empty batch slot.
+func (a *aggregator) context(spot, slot int) (core.SlotFeatures, core.QueueType) {
+	k := cellKey{spot, slot}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c := a.cells[k]
+	if c == nil {
+		c = &cell{}
+		a.cells[k] = c
+	}
+	if !c.done {
+		c.feats = c.stats.Features(a.grid.SlotLen, a.amp)
+		c.label = core.Classify([]core.SlotFeatures{c.feats}, a.ths[spot])[0]
+		c.stats = stream.SlotStats{} // raw stats are spent
+		c.done = true
+	}
+	return c.feats, c.label
+}

@@ -1,0 +1,195 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"taxiqueue/internal/citymap"
+	"taxiqueue/internal/clean"
+	"taxiqueue/internal/core"
+	"taxiqueue/internal/geo"
+	"taxiqueue/internal/mdt"
+	"taxiqueue/internal/stream"
+)
+
+// tinyConfig is a minimal single-shard service with a controllable stall.
+func tinyConfig(stall chan struct{}, policy Backpressure) Config {
+	grid := core.DaySlots(time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC))
+	return Config{
+		Stream: stream.Config{
+			Spots:      []core.QueueSpot{{Pos: geo.Point{Lat: 1.3, Lon: 103.8}}},
+			Thresholds: []core.Thresholds{{}},
+			Grid:       grid,
+		},
+		Clean:        clean.Config{ValidFrame: citymap.Island},
+		Shards:       1,
+		QueueDepth:   8,
+		Policy:       policy,
+		BlockTimeout: 150 * time.Millisecond,
+		testStall:    func(int) { <-stall },
+	}
+}
+
+func burst(n int) []mdt.Record {
+	base := time.Date(2026, 1, 5, 6, 0, 0, 0, time.UTC)
+	recs := make([]mdt.Record, n)
+	for i := range recs {
+		recs[i] = mdt.Record{
+			Time: base.Add(time.Duration(i) * time.Second), TaxiID: "SH0001A",
+			Pos: geo.Point{Lat: 1.3, Lon: 103.8}, Speed: 30, State: mdt.Free,
+		}
+	}
+	return recs
+}
+
+// TestDropOldestNeverBlocks: with the worker wedged and the queue full,
+// Accept must return immediately, recording the overflow as drops.
+func TestDropOldestNeverBlocks(t *testing.T) {
+	stall := make(chan struct{})
+	svc, err := NewService(tinyConfig(stall, DropOldest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	n, err := svc.Accept(burst(500))
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 500 {
+		t.Fatalf("accepted %d of 500", n)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("DropOldest accept took %v", elapsed)
+	}
+	st := svc.Stats()
+	if st.Dropped < 490 {
+		t.Fatalf("dropped %d, want ~492 (500 - queue depth)", st.Dropped)
+	}
+	close(stall)
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The survivors (and only they) were processed.
+	st = svc.Stats()
+	if st.Accepted+st.Dropped != 500 {
+		t.Fatalf("accepted %d + dropped %d != 500", st.Accepted, st.Dropped)
+	}
+}
+
+// TestBlockReturns429: with the worker wedged, the HTTP handler must answer
+// 429 once the deadline passes, reporting the accepted prefix so the
+// client can retry the rest.
+func TestBlockReturns429(t *testing.T) {
+	stall := make(chan struct{})
+	cfg := tinyConfig(stall, Block)
+	svc, err := NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	if err := EncodeJSONLines(&body, burst(100)); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", "/ingest", &body)
+	req.Header.Set("Content-Type", ContentTypeJSONLines)
+	w := httptest.NewRecorder()
+	start := time.Now()
+	svc.HandleIngest(w, req)
+	if w.Code != 429 {
+		t.Fatalf("status %d, want 429", w.Code)
+	}
+	if e := time.Since(start); e < cfg.BlockTimeout {
+		t.Fatalf("429 before the %v deadline (%v)", cfg.BlockTimeout, e)
+	}
+	var resp struct {
+		Accepted int    `json:"accepted"`
+		Error    string `json:"error"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted >= 100 || resp.Error == "" {
+		t.Fatalf("response %+v", resp)
+	}
+	if st := svc.Stats(); st.Dropped != 0 {
+		t.Fatalf("Block policy dropped %d records", st.Dropped)
+	}
+	close(stall)
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBinaryFrames: the binary framing round-trips through the handler,
+// and a torn frame rejects the batch with 400.
+func TestBinaryFrames(t *testing.T) {
+	stall := make(chan struct{})
+	close(stall) // no stall
+	svc, err := NewService(tinyConfig(stall, Block))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	frames := EncodeBinary(nil, burst(50))
+	req := httptest.NewRequest("POST", "/ingest", bytes.NewReader(frames))
+	req.Header.Set("Content-Type", ContentTypeBinary)
+	w := httptest.NewRecorder()
+	svc.HandleIngest(w, req)
+	if w.Code != 200 {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp ingestResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 50 {
+		t.Fatalf("accepted %d of 50", resp.Accepted)
+	}
+
+	torn := frames[:len(frames)-3]
+	req = httptest.NewRequest("POST", "/ingest", bytes.NewReader(torn))
+	req.Header.Set("Content-Type", ContentTypeBinary)
+	w = httptest.NewRecorder()
+	svc.HandleIngest(w, req)
+	if w.Code != 400 {
+		t.Fatalf("torn frame: status %d, want 400", w.Code)
+	}
+	if st := svc.Stats(); st.BadRecords == 0 {
+		t.Fatal("torn frame not counted")
+	}
+}
+
+// TestJSONLinesSkipsBadLines: malformed JSON lines are counted and
+// skipped; the good records still flow.
+func TestJSONLinesSkipsBadLines(t *testing.T) {
+	stall := make(chan struct{})
+	close(stall)
+	svc, err := NewService(tinyConfig(stall, Block))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	var body bytes.Buffer
+	if err := EncodeJSONLines(&body, burst(10)); err != nil {
+		t.Fatal(err)
+	}
+	body.WriteString("{not json}\n")
+	body.WriteString(`{"time":"bogus","taxi":"X","lat":1,"lon":103,"speed":1,"state":"FREE"}` + "\n")
+	req := httptest.NewRequest("POST", "/ingest", &body)
+	w := httptest.NewRecorder()
+	svc.HandleIngest(w, req)
+	if w.Code != 200 {
+		t.Fatalf("status %d", w.Code)
+	}
+	var resp ingestResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 10 || resp.Bad != 2 {
+		t.Fatalf("accepted %d bad %d, want 10/2", resp.Accepted, resp.Bad)
+	}
+}

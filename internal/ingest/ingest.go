@@ -1,0 +1,372 @@
+// Package ingest is the network-facing MDT ingestion service: the missing
+// spine between the simulator (or a real operator feed), the embedded
+// store, the online stream engine and the queued API server. The deployed
+// system of §7.1 is fed by a continuous stream from ~15k taxis into a
+// PostgreSQL store that the engine reads; this package reproduces that
+// shape as a sharded in-process service:
+//
+//	POST /ingest        JSON lines or binary record frames
+//	        │
+//	   validate/clean (streaming §6.1.1 rules, per shard)
+//	        │  route by taxi-ID hash
+//	   ┌────┴────┬─────────┐
+//	 shard 0   shard 1 … shard N-1     bounded queues + backpressure
+//	   │ WAL      │ WAL      │ WAL     per-shard store.Store, atomic
+//	   │ engine   │ engine   │ engine  per-shard stream.Live
+//	   └────┬────┴─────────┘
+//	     aggregator                    exact cross-shard SlotStats merge
+//	        │
+//	  GET /spots (queued)  GET /ingest/stats
+//
+// Sharding is by taxi ID, so each taxi's trajectory — the unit over which
+// PEA, cleaning and the store's time-order invariant all operate — lives
+// entirely inside one shard. Per-shard slot closings carry their raw
+// accumulators (stream.SlotStats) and the aggregator merges them, so the
+// served labels are byte-identical to a single engine that saw every
+// record.
+//
+// Durability is checkpoint-based: each shard logs every arriving record
+// raw (pre-clean) to its own store partition and periodically rewrites it
+// via an atomic temp-file-plus-rename save. On startup the service replays
+// each shard's file through a fresh cleaner and engine — the exact live
+// code path — so the recovered state is byte-identical to the state at the
+// checkpoint, including records the cleaner held undecided. A crash loses
+// only the records that arrived after the last checkpoint.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"taxiqueue/internal/clean"
+	"taxiqueue/internal/core"
+	"taxiqueue/internal/mdt"
+	"taxiqueue/internal/stream"
+)
+
+var (
+	// ErrBackpressure is returned by Accept under the Block policy when a
+	// shard queue stays full past the deadline.
+	ErrBackpressure = errors.New("ingest: shard queue full past deadline")
+	// ErrClosed is returned by Accept after Close.
+	ErrClosed = errors.New("ingest: service closed")
+)
+
+// Backpressure picks what happens when a shard's bounded queue is full.
+type Backpressure uint8
+
+const (
+	// Block makes Accept wait for queue space, up to Config.BlockTimeout;
+	// past the deadline Accept stops and reports ErrBackpressure (HTTP
+	// 429). No accepted record is ever discarded.
+	Block Backpressure = iota
+	// DropOldest makes Accept never block: the oldest queued record of the
+	// full shard is discarded (counted in stats) to admit the new one.
+	// Freshness over completeness — the right policy for live dashboards.
+	DropOldest
+)
+
+// String implements fmt.Stringer.
+func (b Backpressure) String() string {
+	if b == DropOldest {
+		return "drop-oldest"
+	}
+	return "block"
+}
+
+// Config parameterizes the service.
+type Config struct {
+	// Stream configures the per-shard online engines: spots, thresholds
+	// and slot grid from the most recent batch run (§7.1). Required, and
+	// Stream.Grid must be set.
+	Stream stream.Config
+	// Clean holds the §6.1.1 validation rules applied to every arriving
+	// record before it is accepted. Required (ValidFrame must be set).
+	Clean clean.Config
+	// Shards is the worker count; records route by taxi-ID hash. 4 when 0.
+	Shards int
+	// QueueDepth bounds each shard's record queue; 1024 when 0.
+	QueueDepth int
+	// Policy is the full-queue behavior; Block by default.
+	Policy Backpressure
+	// BlockTimeout bounds how long one Accept call may wait under Block
+	// before reporting backpressure; 2s when 0.
+	BlockTimeout time.Duration
+	// WALDir, when non-empty, enables durability: shard i checkpoints the
+	// raw records it accepted to WALDir/shard-NNN.tqs and replays that file
+	// on startup.
+	WALDir string
+	// CheckpointEvery is the number of logged records between automatic
+	// WAL checkpoints; 4096 when 0.
+	CheckpointEvery int
+
+	// testStall, when set, runs at the top of every shard worker
+	// iteration; tests use it to wedge a shard and exercise backpressure.
+	// A stalled worker cannot handle control ops either, so tests must
+	// release the stall before Flush/Close/Abort.
+	testStall func(shard int)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 1024
+	}
+	if c.BlockTimeout == 0 {
+		c.BlockTimeout = 2 * time.Second
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 4096
+	}
+	if c.Stream.Amplify.Factor == 0 {
+		c.Stream.Amplify = core.NoAmplification
+	}
+	return c
+}
+
+// Service is the sharded ingestion service. All methods are safe for
+// concurrent use.
+type Service struct {
+	cfg    Config
+	grid   core.SlotGrid
+	shards []*shard
+	agg    *aggregator
+	closed     atomic.Bool
+	stopped    atomic.Bool
+	badRecords atomic.Int64 // wire records that failed to decode
+}
+
+// NewService validates cfg, replays any existing WAL files, and starts the
+// shard workers.
+func NewService(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Stream.Grid.Slots == 0 {
+		return nil, errors.New("ingest: Stream.Grid must be set")
+	}
+	if len(cfg.Stream.Spots) != len(cfg.Stream.Thresholds) {
+		return nil, fmt.Errorf("ingest: %d spots but %d thresholds",
+			len(cfg.Stream.Spots), len(cfg.Stream.Thresholds))
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("ingest: bad shard count %d", cfg.Shards)
+	}
+	s := &Service{
+		cfg:  cfg,
+		grid: cfg.Stream.Grid,
+		agg: &aggregator{
+			grid:  cfg.Stream.Grid,
+			ths:   cfg.Stream.Thresholds,
+			amp:   cfg.Stream.Amplify,
+			cells: make(map[cellKey]*cell),
+		},
+	}
+	if cfg.WALDir != "" {
+		if err := os.MkdirAll(cfg.WALDir, 0o755); err != nil {
+			return nil, fmt.Errorf("ingest: wal dir: %w", err)
+		}
+	}
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		sh, err := newShard(s, i)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = sh
+	}
+	for _, sh := range s.shards {
+		go sh.run()
+	}
+	return s, nil
+}
+
+// shardIndex routes a taxi ID to its shard (FNV-1a; allocation free).
+func shardIndex(id string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}
+
+// Accept routes records to their shard queues under the configured
+// backpressure policy and reports how many entered a queue. Under Block a
+// deadline miss stops the batch early with ErrBackpressure (the prefix
+// count is still accurate, so callers can retry the rest). Records must be
+// time-ordered per taxi.
+func (s *Service) Accept(recs []mdt.Record) (int, error) {
+	if s.closed.Load() {
+		return 0, ErrClosed
+	}
+	if s.cfg.Policy == DropOldest {
+		for _, r := range recs {
+			s.shards[shardIndex(r.TaxiID, len(s.shards))].offer(r)
+		}
+		return len(recs), nil
+	}
+	deadline := time.NewTimer(s.cfg.BlockTimeout)
+	defer deadline.Stop()
+	for i, r := range recs {
+		sh := s.shards[shardIndex(r.TaxiID, len(s.shards))]
+		select {
+		case sh.ch <- r:
+		default:
+			select {
+			case sh.ch <- r:
+			case <-deadline.C:
+				return i, ErrBackpressure
+			}
+		}
+	}
+	return len(recs), nil
+}
+
+// control broadcasts an op to every shard after its queued records drain,
+// and waits for all of them; the first shard error wins.
+func (s *Service) control(op ctlOp, at time.Time) error {
+	replies := make([]chan error, len(s.shards))
+	for i, sh := range s.shards {
+		replies[i] = make(chan error, 1)
+		sh.ctl <- ctlMsg{op: op, at: at, reply: replies[i]}
+	}
+	var first error
+	for _, ch := range replies {
+		if err := <-ch; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Flush drains every shard, releases the cleaners' held records, closes
+// every open slot, and checkpoints — the whole grid becomes final. Late
+// records are still counted afterwards but can no longer change a label.
+// Ops run once a shard's queue is empty, so call Flush after the feed
+// pauses (it is the "end of day" switch, and what graceful Close uses).
+func (s *Service) Flush() error { return s.control(opFlush, time.Time{}) }
+
+// FlushUntil finalizes every slot the feed can no longer touch given its
+// clock reached now, without closing the current slot — the timer-driven
+// variant for feeds that pause mid-slot.
+func (s *Service) FlushUntil(now time.Time) error { return s.control(opFlushUntil, now) }
+
+// Checkpoint forces an immediate atomic WAL save on every shard.
+func (s *Service) Checkpoint() error { return s.control(opCheckpoint, time.Time{}) }
+
+// Close gracefully shuts down: stops accepting, drains the queues, flushes
+// cleaners and engines, takes a final checkpoint and stops the workers.
+func (s *Service) Close() error {
+	s.closed.Store(true)
+	if !s.stopped.CompareAndSwap(false, true) {
+		return nil
+	}
+	return s.control(opStop, time.Time{})
+}
+
+// Abort stops the workers without flushing or checkpointing — the
+// crash-test switch: on-disk state stays at the last checkpoint.
+func (s *Service) Abort() {
+	s.closed.Store(true)
+	if !s.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	_ = s.control(opAbort, time.Time{})
+}
+
+// minClosed returns the cross-shard finality watermark: every slot below it
+// is final in every shard, so its merged context can never change.
+func (s *Service) minClosed() int {
+	min := int(s.shards[0].watermark.Load())
+	for _, sh := range s.shards[1:] {
+		if w := int(sh.watermark.Load()); w < min {
+			min = w
+		}
+	}
+	return min
+}
+
+// Context returns the merged features and label for (spot, slot); ok is
+// false while any shard could still contribute to the slot (or the indexes
+// are out of range). A final slot with no activity classifies like an
+// empty batch slot.
+func (s *Service) Context(spot, slot int) (core.SlotFeatures, core.QueueType, bool) {
+	if spot < 0 || spot >= len(s.cfg.Stream.Spots) || slot < 0 || slot >= s.grid.Slots {
+		return core.SlotFeatures{}, core.Unidentified, false
+	}
+	if slot >= s.minClosed() {
+		return core.SlotFeatures{}, core.Unidentified, false
+	}
+	f, l := s.agg.context(spot, slot)
+	return f, l, true
+}
+
+// Label is Context without the features.
+func (s *Service) Label(spot, slot int) (core.QueueType, bool) {
+	_, l, ok := s.Context(spot, slot)
+	return l, ok
+}
+
+// ShardStats is one shard's counters.
+type ShardStats struct {
+	Shard       int   `json:"shard"`
+	Accepted    int64 `json:"accepted"`     // survived cleaning, in the engine
+	Rejected    int64 `json:"rejected"`     // removed by validation/cleaning
+	Dropped     int64 `json:"dropped"`      // discarded by DropOldest backpressure
+	Replayed    int64 `json:"replayed"`     // raw WAL records replayed at startup
+	QueueDepth  int   `json:"queue_depth"`  // records waiting right now
+	ClosedBelow int   `json:"closed_below"` // this shard's slot finality watermark
+	WALPending  int64 `json:"wal_pending"`  // records logged since the last checkpoint (what a crash would lose)
+	Checkpoints int64 `json:"checkpoints"`
+}
+
+// Stats is the /ingest/stats payload.
+type Stats struct {
+	Policy     string       `json:"policy"`
+	Shards     []ShardStats `json:"shards"`
+	Accepted   int64        `json:"accepted"`
+	Rejected   int64        `json:"rejected"`
+	Dropped    int64        `json:"dropped"`
+	Replayed   int64        `json:"replayed"`
+	BadRecords int64        `json:"bad_records"` // wire payloads that failed to decode
+	FinalBelow int          `json:"final_below"` // min shard watermark: slots below are served final
+}
+
+// Stats snapshots every counter.
+func (s *Service) Stats() Stats {
+	out := Stats{
+		Policy:     s.cfg.Policy.String(),
+		Shards:     make([]ShardStats, len(s.shards)),
+		BadRecords: s.badRecords.Load(),
+		FinalBelow: s.minClosed(),
+	}
+	for i, sh := range s.shards {
+		st := ShardStats{
+			Shard:       i,
+			Accepted:    sh.accepted.Load(),
+			Rejected:    sh.rejected.Load(),
+			Dropped:     sh.dropped.Load(),
+			Replayed:    sh.replayed.Load(),
+			QueueDepth:  len(sh.ch),
+			ClosedBelow: int(sh.watermark.Load()),
+			WALPending:  sh.walPending.Load(),
+			Checkpoints: sh.checkpoints.Load(),
+		}
+		out.Shards[i] = st
+		out.Accepted += st.Accepted
+		out.Rejected += st.Rejected
+		out.Dropped += st.Dropped
+		out.Replayed += st.Replayed
+	}
+	return out
+}
+
+// walPath names shard i's checkpoint file.
+func walPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d.tqs", i))
+}

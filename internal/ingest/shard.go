@@ -1,0 +1,235 @@
+package ingest
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"taxiqueue/internal/clean"
+	"taxiqueue/internal/mdt"
+	"taxiqueue/internal/store"
+	"taxiqueue/internal/stream"
+)
+
+// ctlOp is a shard control operation; ops are handled only when the
+// shard's record queue is empty, so they apply after the backlog drains.
+type ctlOp uint8
+
+const (
+	opFlush      ctlOp = iota // cleaner flush + close every slot + checkpoint
+	opFlushUntil              // close slots final as of msg.at
+	opCheckpoint              // atomic WAL save
+	opStop                    // graceful: opFlush then exit
+	opAbort                   // crash-test: exit immediately
+)
+
+type ctlMsg struct {
+	op    ctlOp
+	at    time.Time
+	reply chan error
+}
+
+// shard owns one partition of the fleet: a bounded record queue, a
+// streaming cleaner, a write-ahead store and an online engine. Only the
+// shard's worker goroutine touches the cleaner/engine/WAL; everything the
+// rest of the service reads is atomic.
+type shard struct {
+	id  int
+	svc *Service
+	ch  chan mdt.Record
+	ctl chan ctlMsg
+
+	cleaner *clean.Streamer
+	engine  *stream.Live
+	wal     *store.Store // nil when durability is off
+	walPath string
+
+	accepted    atomic.Int64
+	rejected    atomic.Int64
+	dropped     atomic.Int64
+	replayed    atomic.Int64
+	walPending  atomic.Int64 // raw records logged since last checkpoint
+	checkpoints atomic.Int64
+	watermark   atomic.Int64 // engine finality: slots below are final here
+
+	done chan struct{}
+}
+
+// newShard builds shard i, replaying its WAL file if one exists.
+func newShard(s *Service, i int) (*shard, error) {
+	sh := &shard{
+		id:      i,
+		svc:     s,
+		ch:      make(chan mdt.Record, s.cfg.QueueDepth),
+		ctl:     make(chan ctlMsg, 4),
+		cleaner: clean.NewStreamer(s.cfg.Clean),
+		engine:  stream.NewLive(s.cfg.Stream),
+		done:    make(chan struct{}),
+	}
+	if s.cfg.WALDir == "" {
+		return sh, nil
+	}
+	sh.walPath = walPath(s.cfg.WALDir, i)
+	if _, err := os.Stat(sh.walPath); err == nil {
+		st, err := store.LoadFile(sh.walPath)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: shard %d recovery: %w", i, err)
+		}
+		sh.replay(st)
+		sh.wal = st
+	} else if os.IsNotExist(err) {
+		sh.wal = store.New()
+	} else {
+		return nil, fmt.Errorf("ingest: shard %d wal: %w", i, err)
+	}
+	return sh, nil
+}
+
+// replay rebuilds engine and cleaner state from the checkpointed WAL. The
+// WAL holds raw records exactly as accepted (pre-clean), so replaying them
+// through the fresh cleaner and engine re-runs live processing verbatim —
+// including any records the cleaner was still holding at the crash. The
+// recovered state is therefore byte-identical to the pre-checkpoint state
+// at any cut point, not just quiescent ones.
+func (sh *shard) replay(st *store.Store) {
+	var n int64
+	st.Scan(time.Time{}, time.Unix(1<<40, 0), func(r mdt.Record) bool {
+		removedBefore := sh.cleaner.Stats().Removed()
+		for _, surv := range sh.cleaner.Push(r) {
+			sh.ingest(surv)
+		}
+		if d := sh.cleaner.Stats().Removed() - removedBefore; d > 0 {
+			sh.rejected.Add(int64(d))
+		}
+		n++
+		return true
+	})
+	sh.replayed.Store(n)
+}
+
+// offer enqueues under DropOldest: it never blocks, discarding queued
+// records (oldest first) to make room.
+func (sh *shard) offer(r mdt.Record) {
+	for {
+		select {
+		case sh.ch <- r:
+			return
+		default:
+		}
+		select {
+		case <-sh.ch:
+			sh.dropped.Add(1)
+		default:
+		}
+	}
+}
+
+// run is the worker loop. Records take priority; control ops run when the
+// queue is momentarily empty.
+func (sh *shard) run() {
+	defer close(sh.done)
+	for {
+		if hook := sh.svc.cfg.testStall; hook != nil {
+			hook(sh.id)
+		}
+		select {
+		case rec := <-sh.ch:
+			sh.process(rec)
+			continue
+		default:
+		}
+		select {
+		case rec := <-sh.ch:
+			sh.process(rec)
+		case msg := <-sh.ctl:
+			if sh.handle(msg) {
+				return
+			}
+		}
+	}
+}
+
+// handle runs one control op; true means exit the worker.
+func (sh *shard) handle(msg ctlMsg) bool {
+	var err error
+	exit := false
+	switch msg.op {
+	case opFlush:
+		sh.flushAll()
+		err = sh.checkpoint()
+	case opFlushUntil:
+		sh.emit(sh.engine.FlushUntil(msg.at))
+	case opCheckpoint:
+		err = sh.checkpoint()
+	case opStop:
+		sh.flushAll()
+		err = sh.checkpoint()
+		exit = true
+	case opAbort:
+		exit = true
+	}
+	msg.reply <- err
+	return exit
+}
+
+// flushAll releases the cleaner's held records into the engine (they are
+// already in the WAL, which logs pre-clean), then closes every slot.
+func (sh *shard) flushAll() {
+	for _, r := range sh.cleaner.Flush() {
+		sh.ingest(r)
+	}
+	sh.emit(sh.engine.Flush())
+}
+
+// process logs one arriving record to the WAL, cleans it and ingests the
+// survivors. The record hits the WAL before the cleaner sees it so that a
+// checkpoint always captures the cleaner's held records too.
+func (sh *shard) process(rec mdt.Record) {
+	if sh.wal != nil {
+		if err := sh.wal.Append(rec); err != nil {
+			// Per-taxi time order violated (client bug): reject rather
+			// than poison the WAL — replay must never fail.
+			sh.rejected.Add(1)
+			return
+		}
+		if sh.walPending.Add(1) >= int64(sh.svc.cfg.CheckpointEvery) {
+			_ = sh.checkpoint() // error already recorded; keep serving
+		}
+	}
+	removedBefore := sh.cleaner.Stats().Removed()
+	for _, r := range sh.cleaner.Push(rec) {
+		sh.ingest(r)
+	}
+	if d := sh.cleaner.Stats().Removed() - removedBefore; d > 0 {
+		sh.rejected.Add(int64(d))
+	}
+}
+
+// ingest feeds one cleaned survivor to the engine.
+func (sh *shard) ingest(r mdt.Record) {
+	sh.accepted.Add(1)
+	sh.emit(sh.engine.Ingest(r))
+}
+
+// emit forwards slot closings to the aggregator and refreshes the shard's
+// finality watermark.
+func (sh *shard) emit(events []stream.Event) {
+	if len(events) > 0 {
+		sh.svc.agg.add(events)
+	}
+	sh.watermark.Store(int64(sh.engine.Closed()))
+}
+
+// checkpoint atomically rewrites the shard's WAL file.
+func (sh *shard) checkpoint() error {
+	if sh.wal == nil {
+		return nil
+	}
+	if err := sh.wal.SaveFile(sh.walPath); err != nil {
+		return err
+	}
+	sh.walPending.Store(0)
+	sh.checkpoints.Add(1)
+	return nil
+}

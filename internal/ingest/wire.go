@@ -1,0 +1,206 @@
+package ingest
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"taxiqueue/internal/geo"
+	"taxiqueue/internal/mdt"
+)
+
+// The wire formats: /ingest accepts either newline-delimited JSON objects
+// (RecordJSON, one per line; forgiving — a malformed line is counted and
+// skipped) or a stream of the compact binary frames the store uses
+// (mdt.AppendBinary; strict — a bad frame rejects the whole batch, since
+// frame boundaries are lost).
+
+// ContentTypeBinary selects the binary framing on /ingest.
+const ContentTypeBinary = "application/octet-stream"
+
+// ContentTypeJSONLines selects (and is the default) JSON-lines framing.
+const ContentTypeJSONLines = "application/x-ndjson"
+
+// maxBody bounds one /ingest request body (64 MiB ≈ 1.4M binary frames).
+const maxBody = 64 << 20
+
+// RecordJSON is the JSON-lines wire shape of one MDT record.
+type RecordJSON struct {
+	Time  string  `json:"time"` // RFC3339
+	Taxi  string  `json:"taxi"`
+	Lat   float64 `json:"lat"`
+	Lon   float64 `json:"lon"`
+	Speed float64 `json:"speed"`
+	State string  `json:"state"` // Table 2 mnemonic, e.g. "POB"
+}
+
+// ToJSON converts a record to its wire shape.
+func ToJSON(r mdt.Record) RecordJSON {
+	return RecordJSON{
+		Time: r.Time.UTC().Format(time.RFC3339), Taxi: r.TaxiID,
+		Lat: r.Pos.Lat, Lon: r.Pos.Lon, Speed: r.Speed, State: r.State.String(),
+	}
+}
+
+// Record converts the wire shape back.
+func (j RecordJSON) Record() (mdt.Record, error) {
+	ts, err := time.Parse(time.RFC3339, j.Time)
+	if err != nil {
+		return mdt.Record{}, fmt.Errorf("ingest: bad time: %w", err)
+	}
+	state, err := mdt.ParseState(j.State)
+	if err != nil {
+		return mdt.Record{}, err
+	}
+	return mdt.Record{
+		Time: ts.UTC(), TaxiID: j.Taxi,
+		Pos: geo.Point{Lat: j.Lat, Lon: j.Lon}, Speed: j.Speed, State: state,
+	}, nil
+}
+
+// EncodeJSONLines writes recs as newline-delimited RecordJSON (the JSON
+// /ingest body format).
+func EncodeJSONLines(w io.Writer, recs []mdt.Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range recs {
+		if err := enc.Encode(ToJSON(r)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// EncodeBinary appends recs as binary frames (the binary /ingest body
+// format) and returns the extended buffer.
+func EncodeBinary(buf []byte, recs []mdt.Record) []byte {
+	for _, r := range recs {
+		buf = r.AppendBinary(buf)
+	}
+	return buf
+}
+
+// decodeBinary parses a whole binary body; any bad frame fails the batch.
+func decodeBinary(body []byte) ([]mdt.Record, error) {
+	var recs []mdt.Record
+	for len(body) > 0 {
+		r, n, err := mdt.DecodeBinary(body)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: bad frame after %d records: %w", len(recs), err)
+		}
+		recs = append(recs, r)
+		body = body[n:]
+	}
+	return recs, nil
+}
+
+// decodeJSONLines parses newline-delimited RecordJSON, skipping (and
+// counting) malformed lines.
+func decodeJSONLines(r io.Reader) (recs []mdt.Record, bad int64, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var j RecordJSON
+		if e := json.Unmarshal(line, &j); e != nil {
+			bad++
+			continue
+		}
+		rec, e := j.Record()
+		if e != nil {
+			bad++
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	return recs, bad, sc.Err()
+}
+
+// ingestResponse is the /ingest reply body.
+type ingestResponse struct {
+	Accepted int    `json:"accepted"`
+	Bad      int64  `json:"bad,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("ingest: encode response: %v", err)
+	}
+}
+
+// HandleIngest is the POST /ingest handler: decode, route, apply
+// backpressure. Under Block a deadline miss answers 429 with the accepted
+// prefix count so the client can retry the rest.
+func (s *Service) HandleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, maxBody)
+	var (
+		recs []mdt.Record
+		bad  int64
+		err  error
+	)
+	if r.Header.Get("Content-Type") == ContentTypeBinary {
+		var raw []byte
+		if raw, err = io.ReadAll(body); err == nil {
+			recs, err = decodeBinary(raw)
+		}
+		if err != nil {
+			s.badRecords.Add(1)
+			writeJSON(w, http.StatusBadRequest, ingestResponse{Error: err.Error()})
+			return
+		}
+	} else {
+		recs, bad, err = decodeJSONLines(body)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, ingestResponse{Bad: bad, Error: err.Error()})
+			return
+		}
+		s.badRecords.Add(bad)
+	}
+	n, err := s.Accept(recs)
+	switch {
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, ingestResponse{Error: "ingest closed"})
+	case errors.Is(err, ErrBackpressure):
+		writeJSON(w, http.StatusTooManyRequests, ingestResponse{Accepted: n, Bad: bad, Error: "backpressure: retry remaining records"})
+	default:
+		writeJSON(w, http.StatusOK, ingestResponse{Accepted: n, Bad: bad})
+	}
+}
+
+// HandleStats is the GET /ingest/stats handler.
+func (s *Service) HandleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// HandleFlush is the POST /ingest/flush handler: the end-of-feed switch
+// that finalizes every slot (see Service.Flush).
+func (s *Service) HandleFlush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := s.Flush(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, ingestResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"flushed": true, "final_below": s.minClosed()})
+}

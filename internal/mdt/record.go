@@ -82,15 +82,17 @@ func (r Record) Equal(o Record) bool {
 
 // binary codec -------------------------------------------------------------
 
-// binMagic guards against decoding garbage; bumped on layout changes.
-const binMagic = 0x4D44 // "MD"
+// binMagic guards against decoding garbage; bumped on layout changes
+// (0x4D44 stored whole seconds; 0x4D45 stores nanoseconds).
+const binMagic = 0x4D45 // "ME"
 
 var errBadMagic = errors.New("mdt: bad binary record magic")
 
 // AppendBinary appends the fixed-prefix binary encoding of r to dst and
 // returns the extended slice. Layout: magic(2) idLen(1) id(idLen)
-// unixSec(8) lat(8) lon(8) speed(4 as float32 centi-km/h would lose
-// precision, so float64) state(1).
+// unixNano(8) lat(8) lon(8) speed(4 as float32 centi-km/h would lose
+// precision, so float64) state(1). Times keep full nanosecond precision so
+// a WAL replay reproduces wait durations exactly.
 func (r Record) AppendBinary(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, binMagic)
 	if len(r.TaxiID) > 255 {
@@ -98,7 +100,7 @@ func (r Record) AppendBinary(dst []byte) []byte {
 	}
 	dst = append(dst, byte(len(r.TaxiID)))
 	dst = append(dst, r.TaxiID...)
-	dst = binary.BigEndian.AppendUint64(dst, uint64(r.Time.Unix()))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(r.Time.UnixNano()))
 	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(r.Pos.Lat))
 	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(r.Pos.Lon))
 	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(r.Speed))
@@ -122,7 +124,7 @@ func DecodeBinary(b []byte) (Record, int, error) {
 	}
 	id := string(b[3 : 3+idLen])
 	off := 3 + idLen
-	sec := int64(binary.BigEndian.Uint64(b[off:]))
+	nano := int64(binary.BigEndian.Uint64(b[off:]))
 	lat := math.Float64frombits(binary.BigEndian.Uint64(b[off+8:]))
 	lon := math.Float64frombits(binary.BigEndian.Uint64(b[off+16:]))
 	speed := math.Float64frombits(binary.BigEndian.Uint64(b[off+24:]))
@@ -131,7 +133,7 @@ func DecodeBinary(b []byte) (Record, int, error) {
 		return Record{}, 0, fmt.Errorf("mdt: invalid state byte %d", b[off+32])
 	}
 	return Record{
-		Time:   time.Unix(sec, 0).UTC(),
+		Time:   time.Unix(0, nano).UTC(),
 		TaxiID: id,
 		Pos:    geo.Point{Lat: lat, Lon: lon},
 		Speed:  speed,

@@ -18,6 +18,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -247,10 +249,65 @@ func (h cursorHeap) down(i int) {
 
 // persistence ----------------------------------------------------------------
 
-var fileMagic = [8]byte{'T', 'Q', 'S', 'T', '1', 0, 0, 0}
+// Version 2 embeds nanosecond-precision record frames (mdt binMagic 0x4D45).
+var fileMagic = [8]byte{'T', 'Q', 'S', 'T', '2', 0, 0, 0}
+
+// SaveFile atomically writes the store to path: the bytes go to a fresh
+// temp file in path's directory which is synced and renamed over path, so a
+// crash mid-save can never corrupt or truncate an existing on-disk copy —
+// readers see either the old store or the new one, never a torn write.
+// Errors are wrapped with the destination path.
+func (s *Store) SaveFile(path string) error {
+	fail := func(err error) error { return fmt.Errorf("store: save %s: %w", path, err) }
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fail(err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fail(err)
+	}
+	// CreateTemp defaults to 0600; match what os.Create would have given.
+	if err := f.Chmod(0o644); err != nil {
+		return cleanup(err)
+	}
+	if err := s.Save(f); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fail(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fail(err)
+	}
+	return nil
+}
+
+// LoadFile reads a store previously written by SaveFile (or Save to a
+// file). Errors are wrapped with the source path.
+func LoadFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: load %s: %w", path, err)
+	}
+	defer f.Close()
+	s, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("store: load %s: %w", path, err)
+	}
+	return s, nil
+}
 
 // Save writes the store to w in the single-file format. Open blocks are
-// sealed first.
+// sealed first. When w is the store's only on-disk copy, prefer SaveFile:
+// writing in place can corrupt that copy if the process dies mid-write.
 func (s *Store) Save(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.Write(fileMagic[:]); err != nil {

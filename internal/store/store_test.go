@@ -3,7 +3,9 @@ package store
 import (
 	"bytes"
 	"math/rand"
+	"os"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -345,5 +347,83 @@ func BenchmarkSaveLoad(b *testing.B) {
 		if _, err := Load(&buf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestSaveFileLoadFileRoundTrip(t *testing.T) {
+	s := New()
+	for i := 0; i < 1500; i++ {
+		if err := s.Append(rec("A", i, mdt.Free)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := t.TempDir() + "/day.tqs"
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("loaded %d records, want %d", got.Len(), s.Len())
+	}
+}
+
+// TestSaveFileAtomic: a failed save must leave the previous on-disk copy
+// intact and no temp litter behind.
+func TestSaveFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/day.tqs"
+	s := New()
+	if err := s.Append(rec("A", 0, mdt.Free)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// A save into a directory that vanished must fail, name the path, and
+	// not disturb anything else.
+	if err := s.SaveFile(dir + "/gone/day.tqs"); err == nil {
+		t.Fatal("save into missing directory succeeded")
+	} else if !strings.Contains(err.Error(), "gone/day.tqs") {
+		t.Fatalf("error does not name the path: %v", err)
+	}
+	// Overwrite with a bigger store; the old copy must stay loadable at
+	// every instant (we can only spot-check the end state here, plus that
+	// no temp files leak).
+	for i := 1; i < 3000; i++ {
+		if err := s.Append(rec("A", i, mdt.Free)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "day.tqs" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory not clean after saves: %v", names)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3000 {
+		t.Fatalf("loaded %d records, want 3000", got.Len())
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(t.TempDir() + "/nope.tqs"); err == nil {
+		t.Fatal("loading a missing file succeeded")
+	} else if !strings.Contains(err.Error(), "nope.tqs") {
+		t.Fatalf("error does not name the path: %v", err)
 	}
 }

@@ -51,6 +51,10 @@ type Event struct {
 	Slot     int
 	Features core.SlotFeatures
 	Label    core.QueueType
+	// Stats carries the raw accumulator behind Features so a sharded
+	// deployment can merge closings from engines that each saw only part
+	// of the fleet (see SlotStats). The engine hands over ownership.
+	Stats SlotStats
 }
 
 // Config parameterizes the online engine.
@@ -70,13 +74,58 @@ type Config struct {
 	Amplify core.Amplification
 }
 
-// slotAcc accumulates one (spot, slot)'s statistics.
-type slotAcc struct {
-	waitSum time.Duration // street waits that started in this slot
-	waitN   int
-	street  int // departures (wait ends) in this slot
-	booking int
-	depEnds []time.Time
+// SlotStats is the raw accumulator behind one (spot, slot) cell. It is
+// exported so sharded ingestion can merge per-shard slot closings exactly:
+// every field is a sum or a concatenation, so folding the SlotStats of N
+// engines that partitioned the fleet by taxi and then calling Features
+// yields byte-identical results to one engine that saw every record.
+type SlotStats struct {
+	// WaitSum/WaitN accumulate street waits that started in this slot.
+	WaitSum time.Duration
+	WaitN   int
+	// Street/Booking count departures (wait ends) in this slot by job kind.
+	Street  int
+	Booking int
+	// DepEnds are the departure instants in this slot, in fold order.
+	DepEnds []time.Time
+}
+
+// Empty reports whether the cell saw no activity.
+func (s *SlotStats) Empty() bool { return s.WaitN == 0 && len(s.DepEnds) == 0 }
+
+// Merge folds o into s. Merging is commutative up to DepEnds order, which
+// Features re-sorts, so shard merge order never changes the outcome.
+func (s *SlotStats) Merge(o *SlotStats) {
+	s.WaitSum += o.WaitSum
+	s.WaitN += o.WaitN
+	s.Street += o.Street
+	s.Booking += o.Booking
+	s.DepEnds = append(s.DepEnds, o.DepEnds...)
+}
+
+// Features converts the raw statistics into the §5.2 5-tuple exactly as the
+// batch ComputeFeatures does. DepEnds is sorted in place.
+func (s *SlotStats) Features(slotLen time.Duration, amp core.Amplification) core.SlotFeatures {
+	if amp.Factor == 0 {
+		amp = core.NoAmplification
+	}
+	var f core.SlotFeatures
+	if s.WaitN > 0 {
+		f.TWait = s.WaitSum / time.Duration(s.WaitN)
+	}
+	f.NArr = float64(s.WaitN) * amp.Factor
+	f.QLen = f.TWait.Seconds() * f.NArr / slotLen.Seconds()
+	deps := s.DepEnds
+	sort.Slice(deps, func(a, b int) bool { return deps[a].Before(deps[b]) })
+	if len(deps) > 1 {
+		total := deps[len(deps)-1].Sub(deps[0])
+		mean := total / time.Duration(len(deps)-1)
+		f.TDep = time.Duration(float64(mean) * amp.IntervalFactor)
+	}
+	f.NDep = float64(len(deps)) * amp.Factor
+	f.StreetDepartures = s.Street
+	f.BookingDepartures = s.Booking
+	return f
 }
 
 // Live is the online engine. It is not safe for concurrent use; shard by
@@ -86,8 +135,8 @@ type Live struct {
 	spotPts []geo.Point
 	spotIdx *spatial.Grid
 	taxis   map[string]*peaState
-	accs    []map[int]*slotAcc // per spot: open slots
-	closed  int                // all slots below this are final everywhere
+	accs    []map[int]*SlotStats // per spot: open slots
+	closed  int                  // all slots below this are final everywhere
 	buf     []int
 }
 
@@ -105,12 +154,12 @@ func NewLive(cfg Config) *Live {
 	l := &Live{
 		cfg:   cfg,
 		taxis: make(map[string]*peaState),
-		accs:  make([]map[int]*slotAcc, len(cfg.Spots)),
+		accs:  make([]map[int]*SlotStats, len(cfg.Spots)),
 	}
 	l.spotPts = make([]geo.Point, len(cfg.Spots))
 	for i, s := range cfg.Spots {
 		l.spotPts[i] = s.Pos
-		l.accs[i] = make(map[int]*slotAcc)
+		l.accs[i] = make(map[int]*SlotStats)
 	}
 	l.spotIdx = spatial.NewGrid(l.spotPts, cfg.AssignRadiusMeters)
 	return l
@@ -121,9 +170,14 @@ func NewLive(cfg Config) *Live {
 // triggered.
 func (l *Live) Ingest(rec mdt.Record) []Event {
 	var events []Event
-	// Finalize slots the clock has moved safely past (one-slot lag).
+	// Finalize slots the clock has moved safely past (one-slot lag). A
+	// record beyond the grid's end finalizes everything: without this the
+	// day's last slots stayed provisional forever once the feed's clock
+	// left the grid.
 	if cur := l.cfg.Grid.Index(rec.Time); cur >= 0 {
 		events = l.closeBelow(cur-1, events)
+	} else if !rec.Time.Before(l.gridEnd()) {
+		events = l.closeBelow(l.cfg.Grid.Slots, events)
 	}
 	// Incremental PEA for this taxi.
 	st := l.taxis[rec.TaxiID]
@@ -180,15 +234,20 @@ func (l *Live) acceptPickup(pk core.Pickup) (Event, bool) {
 	return ev, true
 }
 
+// gridEnd returns the first instant after the last slot.
+func (l *Live) gridEnd() time.Time {
+	return l.cfg.Grid.Start.Add(time.Duration(l.cfg.Grid.Slots) * l.cfg.Grid.SlotLen)
+}
+
 // acc returns (creating if needed) the accumulator for (spot, slot); nil
 // when the slot is already final or outside the grid.
-func (l *Live) acc(spot, slot int) *slotAcc {
+func (l *Live) acc(spot, slot int) *SlotStats {
 	if slot < l.closed || slot < 0 {
 		return nil
 	}
 	a := l.accs[spot][slot]
 	if a == nil {
-		a = &slotAcc{}
+		a = &SlotStats{}
 		l.accs[spot][slot] = a
 	}
 	return a
@@ -200,62 +259,50 @@ func (l *Live) acc(spot, slot int) *slotAcc {
 func (l *Live) foldWait(spot int, w core.Wait) {
 	if w.Street() {
 		if a := l.acc(spot, l.cfg.Grid.Index(w.Start)); a != nil {
-			a.waitSum += w.Duration()
-			a.waitN++
+			a.WaitSum += w.Duration()
+			a.WaitN++
 		}
 	}
 	if a := l.acc(spot, l.cfg.Grid.Index(w.End)); a != nil {
 		if w.Street() {
-			a.street++
+			a.Street++
 		} else {
-			a.booking++
+			a.Booking++
 		}
-		a.depEnds = append(a.depEnds, w.End)
+		a.DepEnds = append(a.DepEnds, w.End)
 	}
 }
 
 // finalize converts an accumulator into a SlotClosed event.
-func (l *Live) finalize(spot, slot int, acc *slotAcc) Event {
-	f := l.features(acc)
+func (l *Live) finalize(spot, slot int, acc *SlotStats) Event {
+	f := acc.Features(l.cfg.Grid.SlotLen, l.cfg.Amplify)
 	label := core.Classify([]core.SlotFeatures{f}, l.cfg.Thresholds[spot])[0]
-	return Event{Kind: SlotClosed, Spot: spot, Slot: slot, Features: f, Label: label}
+	return Event{Kind: SlotClosed, Spot: spot, Slot: slot, Features: f, Label: label, Stats: *acc}
 }
 
-// features converts the accumulators into the §5.2 5-tuple exactly as the
-// batch ComputeFeatures does.
-func (l *Live) features(acc *slotAcc) core.SlotFeatures {
-	amp := l.cfg.Amplify
-	var f core.SlotFeatures
-	if acc.waitN > 0 {
-		f.TWait = acc.waitSum / time.Duration(acc.waitN)
-	}
-	f.NArr = float64(acc.waitN) * amp.Factor
-	f.QLen = f.TWait.Seconds() * f.NArr / l.cfg.Grid.SlotLen.Seconds()
-	deps := acc.depEnds
-	sort.Slice(deps, func(a, b int) bool { return deps[a].Before(deps[b]) })
-	if len(deps) > 1 {
-		total := deps[len(deps)-1].Sub(deps[0])
-		mean := total / time.Duration(len(deps)-1)
-		f.TDep = time.Duration(float64(mean) * amp.IntervalFactor)
-	}
-	f.NDep = float64(len(deps)) * amp.Factor
-	f.StreetDepartures = acc.street
-	f.BookingDepartures = acc.booking
-	return f
-}
+// Closed returns the finality watermark: every slot with index < Closed()
+// is final in this engine and can never accumulate again.
+func (l *Live) Closed() int { return l.closed }
 
 // Flush closes every open slot (end of stream) and returns the final
-// events in (slot, spot) order.
+// events in (slot, spot) order. After Flush the whole grid is final:
+// further records still feed PEA but can no longer change any slot.
 func (l *Live) Flush() []Event {
-	maxSlot := l.closed
-	for spot := range l.accs {
-		for slot := range l.accs[spot] {
-			if slot+1 > maxSlot {
-				maxSlot = slot + 1
-			}
-		}
+	return l.closeBelow(l.cfg.Grid.Slots, nil)
+}
+
+// FlushUntil finalizes every slot the feed's clock can no longer touch
+// given that it has (at least) reached now, without needing another record.
+// Drive it from a timer so slots do not linger provisional when the feed
+// pauses mid-slot; it applies the same one-slot safety lag as Ingest.
+func (l *Live) FlushUntil(now time.Time) []Event {
+	if !now.Before(l.gridEnd()) {
+		return l.Flush()
 	}
-	return l.closeBelow(maxSlot, nil)
+	if cur := l.cfg.Grid.Index(now); cur >= 0 {
+		return l.closeBelow(cur-1, nil)
+	}
+	return nil
 }
 
 // CurrentEstimate returns a provisional context for the spot's slot at
@@ -268,7 +315,7 @@ func (l *Live) CurrentEstimate(spot int, now time.Time) (core.QueueType, bool) {
 		return core.Unidentified, false
 	}
 	acc := l.accs[spot][j]
-	if acc == nil || (acc.waitN == 0 && len(acc.depEnds) == 0) {
+	if acc == nil || acc.Empty() {
 		return core.Unidentified, false
 	}
 	from, _ := l.cfg.Grid.Bounds(j)
@@ -277,7 +324,7 @@ func (l *Live) CurrentEstimate(spot int, now time.Time) (core.QueueType, bool) {
 	if elapsed < 0.2*slotSec {
 		return core.Unidentified, false
 	}
-	f := l.features(acc)
+	f := acc.Features(l.cfg.Grid.SlotLen, l.cfg.Amplify)
 	scale := slotSec / elapsed
 	f.NArr *= scale
 	f.NDep *= scale

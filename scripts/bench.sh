@@ -4,7 +4,7 @@
 # race-tests the concurrent packages.
 #
 # Usage:
-#   scripts/bench.sh                 # default: BENCH_OUT=BENCH_PR1.json
+#   scripts/bench.sh                 # default: BENCH_OUT=BENCH_PR2.json
 #   BENCHTIME=3x scripts/bench.sh    # more iterations per benchmark
 #   BENCH_OUT=after.json scripts/bench.sh
 #
@@ -13,13 +13,22 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${BENCH_OUT:-BENCH_PR1.json}"
+out="${BENCH_OUT:-BENCH_PR2.json}"
 benchtime="${BENCHTIME:-1x}"
 raw="$(mktemp /tmp/bench_raw.XXXXXX.txt)"
+
+echo ">> go vet ./..."
+go vet ./...
 
 echo ">> go test -bench 'Benchmark(Stage|Ablation)' -benchmem -benchtime $benchtime ."
 go test -run '^$' -bench 'Benchmark(Stage|Ablation)' -benchmem \
 	-benchtime "$benchtime" -timeout 45m . | tee "$raw"
+
+# Ingest throughput: records/sec vs shard count, with and without the WAL.
+ingest_benchtime="${INGEST_BENCHTIME:-200000x}"
+echo ">> go test -bench BenchmarkIngest -benchmem -benchtime $ingest_benchtime ./internal/ingest"
+go test -run '^$' -bench 'BenchmarkIngest' -benchmem \
+	-benchtime "$ingest_benchtime" -timeout 45m ./internal/ingest | tee -a "$raw"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 BEGIN { n = 0 }
@@ -55,6 +64,6 @@ END { print "" }
 rm -f /tmp/bench_body.$$
 echo ">> wrote $out"
 
-echo ">> go test -race ./internal/cluster ./internal/core"
-go test -race -count=1 ./internal/cluster ./internal/core
+echo ">> go test -race ./internal/cluster ./internal/core ./internal/ingest ./internal/stream"
+go test -race -count=1 ./internal/cluster ./internal/core ./internal/ingest ./internal/stream
 echo ">> race check clean"
