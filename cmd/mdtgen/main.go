@@ -116,6 +116,7 @@ func main() {
 	batch := flag.Int("batch", 500, "records per POST when streaming")
 	encoding := flag.String("encoding", "binary", "wire encoding when streaming: binary or json")
 	flush := flag.Bool("flush", true, "POST <stream>/flush after the feed so every slot is finalized")
+	stats := flag.Bool("stats", false, "print <stream>/stats after streaming (server-side accept/reject/drop view)")
 	flag.Parse()
 
 	start, err := time.Parse("2006-01-02", *date)
@@ -173,6 +174,18 @@ func main() {
 			if resp.StatusCode != http.StatusOK {
 				log.Fatalf("flush: status %d", resp.StatusCode)
 			}
+		}
+		if *stats {
+			resp, err := http.Get(*streamURL + "/stats")
+			if err != nil {
+				log.Fatal(err)
+			}
+			raw, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				log.Fatalf("stats: status %d: %v", resp.StatusCode, err)
+			}
+			fmt.Fprintf(os.Stderr, "mdtgen: server stats: %s\n", raw)
 		}
 		return
 	}

@@ -3,8 +3,10 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -47,6 +49,7 @@ func liveFixture(t *testing.T) (*httptest.Server, *server, *ingest.Service, sim.
 	}
 	mux := http.NewServeMux()
 	registerLive(mux, &liveServer{srv: srv, svc: svc})
+	registerOps(mux, srv, svc, svc.Registry(), true)
 	ts := httptest.NewServer(mux)
 	return ts, srv, svc, out, []func(){ts.Close, func() { _ = svc.Close() }}
 }
@@ -150,6 +153,96 @@ func TestLiveEndToEnd(t *testing.T) {
 	}
 	if rate := float64(mismatches) / float64(checked); rate > 0.10 {
 		t.Fatalf("live/batch mismatch rate %.3f over %d pairs", rate, checked)
+	}
+}
+
+// TestOpsEndpoints drives the operational surface end to end: an /ingest
+// POST must advance the counters a /metrics scrape reports, /ingest/stats
+// must agree with the scrape, /healthz must flip from ok to unready when
+// the ingest service closes, and the opt-in pprof index must be mounted.
+func TestOpsEndpoints(t *testing.T) {
+	ts, _, svc, out, cleanup := liveFixture(t)
+	for _, f := range cleanup {
+		defer f()
+	}
+	cleaned, _ := clean.Clean(out.Records, clean.Config{ValidFrame: citymap.Island})
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, buf.String()
+	}
+
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("healthz before close: %d %q", code, body)
+	}
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Fatalf("pprof index: status %d", code)
+	}
+
+	var body bytes.Buffer
+	if err := ingest.EncodeJSONLines(&body, cleaned[:500]); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/ingest", ingest.ContentTypeJSONLines, &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	if resp, err = http.Post(ts.URL+"/ingest/flush", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	code, scrape := get("/metrics")
+	if code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	resp, err = http.Get(ts.URL + "/ingest/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ingest.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Accepted == 0 {
+		t.Fatal("nothing accepted")
+	}
+	// Every per-shard accepted counter in the scrape must match the JSON.
+	for _, sh := range st.Shards {
+		want := fmt.Sprintf("ingest_accepted_total{shard=%q} %d", fmt.Sprint(sh.Shard), sh.Accepted)
+		if !strings.Contains(scrape, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	for _, want := range []string{
+		`ingest_http_requests_total{code="200"}`,
+		"ingest_queue_wait_seconds_count",
+		"ingest_aggregator_cells",
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := get("/healthz"); code != 503 || !strings.Contains(body, `"status":"unready"`) {
+		t.Fatalf("healthz after close: %d %q", code, body)
 	}
 }
 

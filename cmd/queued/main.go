@@ -7,7 +7,9 @@
 //	GET /spots?at=RFC3339       contexts at a specific time
 //	GET /recommend?for=driver&lat=..&lon=..[&at=..]  ranked queue spots (§9)
 //	GET /monitors ...           the vehicle monitor service (see internal/monitor)
-//	GET /healthz
+//	GET /metrics                Prometheus text metrics (ingest + batch pipeline)
+//	GET /healthz                readiness: batch loaded, shards alive, WAL writable
+//	GET /debug/pprof/*          runtime profiling, when started with -pprof
 //
 // With -live the batch run only bootstraps the spot positions and
 // thresholds; contexts are then served from records POSTed to /ingest
@@ -42,6 +44,7 @@ import (
 	"taxiqueue/internal/geo"
 	"taxiqueue/internal/ingest"
 	"taxiqueue/internal/monitor"
+	"taxiqueue/internal/obs"
 	"taxiqueue/internal/recommend"
 	"taxiqueue/internal/sim"
 )
@@ -201,6 +204,7 @@ func main() {
 	bp := flag.String("bp", "block", "live mode: backpressure policy, block|drop-oldest")
 	walDir := flag.String("wal", "", "live mode: WAL directory (empty = durability off)")
 	checkpoint := flag.Int("checkpoint", 4096, "live mode: records between WAL checkpoints")
+	withPprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof")
 	flag.Parse()
 
 	srv := &server{}
@@ -232,6 +236,7 @@ func main() {
 			Policy:          policy,
 			WALDir:          *walDir,
 			CheckpointEvery: *checkpoint,
+			Metrics:         obs.Default, // one process-wide /metrics scrape
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -286,12 +291,11 @@ func main() {
 	mux.HandleFunc("/recommend", srv.handleRecommend)
 	mux.Handle("/monitors", monSvc)
 	mux.Handle("/monitors/", monSvc)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		if _, err := w.Write([]byte("ok")); err != nil {
-			log.Printf("healthz: %v", err)
-		}
-	})
+	var liveSvc *ingest.Service
+	if liveSrv != nil {
+		liveSvc = liveSrv.svc
+	}
+	registerOps(mux, srv, liveSvc, obs.Default, *withPprof)
 	log.Printf("queued: listening on %s", *addr)
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }

@@ -135,14 +135,19 @@ func (e *Engine) Analyze(recs []mdt.Record) (*Result, error) {
 	}
 
 	// Tier 1: queue spot detection.
+	t0 := time.Now()
 	byTaxi := mdt.SplitByTaxi(recs)
 	pickups := ExtractAllParallel(byTaxi, cfg.SpeedThresholdKmh, cfg.Parallelism)
+	stagePEA.Since(t0)
+	t0 = time.Now()
 	spots, err := DetectSpots(pickups, cfg.Detector)
 	if err != nil {
 		return nil, err
 	}
+	stageDBSCAN.Since(t0)
 
 	// Tier 2: queue context disambiguation.
+	t0 = time.Now()
 	assigned := AssignPickups(pickups, spots, cfg.AssignRadiusMeters)
 	res := &Result{Config: cfg, Pickups: pickups, Spots: make([]SpotAnalysis, len(spots))}
 
@@ -160,6 +165,7 @@ func (e *Engine) Analyze(recs []mdt.Record) (*Result, error) {
 			totalByZone[z]++
 		}
 	}
+	stageWTE.Since(t0)
 	for z := 0; z < citymap.NumZones; z++ {
 		if totalByZone[z] == 0 {
 			res.ZoneStreetRatio[z] = 1
@@ -184,6 +190,7 @@ func (e *Engine) Analyze(recs []mdt.Record) (*Result, error) {
 			Labels:     Classify(feats, th),
 		}
 	}
+	t0 = time.Now()
 	workers := cfg.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -192,24 +199,28 @@ func (e *Engine) Analyze(recs []mdt.Record) (*Result, error) {
 		for i := range spots {
 			analyzeSpot(i)
 		}
-		return res, nil
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					analyzeSpot(i)
+				}
+			}()
+		}
+		for i := range spots {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				analyzeSpot(i)
-			}
-		}()
-	}
-	for i := range spots {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	stageQCD.Since(t0)
+	pipelineRuns.Inc()
+	pipelineRecords.Set(int64(len(recs)))
+	pipelineSpots.Set(int64(len(spots)))
 	return res, nil
 }
 

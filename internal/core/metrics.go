@@ -1,0 +1,29 @@
+package core
+
+import "taxiqueue/internal/obs"
+
+// Batch pipeline observability: one latency histogram per Fig. 4 stage plus
+// run-level counters, registered on the process-wide obs.Default so
+// queued's /metrics covers the nightly batch recompute alongside the live
+// ingest tier. Histograms are process-global on purpose — every Analyze
+// call in the process folds into the same series, which is exactly what a
+// scraper watching recompute latency wants.
+var (
+	stagePEA    = stageTimer("pea")    // pickup extraction over all taxis
+	stageDBSCAN = stageTimer("dbscan") // queue-spot detection (clustering)
+	stageWTE    = stageTimer("wte")    // W(r) assignment + wait-time extraction
+	stageQCD    = stageTimer("qcd")    // features, thresholds, classification
+
+	pipelineRuns = obs.Default.Counter("pipeline_runs_total",
+		"Completed batch Analyze runs.")
+	pipelineRecords = obs.Default.Gauge("pipeline_last_records",
+		"Input records of the most recent batch Analyze run.")
+	pipelineSpots = obs.Default.Gauge("pipeline_last_spots",
+		"Queue spots detected by the most recent batch Analyze run.")
+)
+
+func stageTimer(stage string) *obs.Histogram {
+	return obs.Default.Histogram("pipeline_stage_seconds",
+		"Wall-clock duration of one batch pipeline stage.",
+		obs.DefBuckets, obs.Label{Name: "stage", Value: stage})
+}

@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"sync"
+	"time"
 
 	"taxiqueue/internal/core"
 	"taxiqueue/internal/stream"
@@ -13,10 +14,11 @@ type cellKey struct{ spot, slot int }
 // cell is one merged (spot, slot): raw statistics while shards are still
 // closing, then the computed context once first served.
 type cell struct {
-	stats stream.SlotStats
-	label core.QueueType
-	feats core.SlotFeatures
-	done  bool
+	stats    stream.SlotStats
+	label    core.QueueType
+	feats    core.SlotFeatures
+	closedAt time.Time // when the first shard closing arrived
+	done     bool
 }
 
 // aggregator merges per-shard slot closings into served contexts. Because
@@ -25,13 +27,30 @@ type cell struct {
 // one engine over the whole fleet would have produced; the Service gates
 // reads on the cross-shard watermark so a cell is only evaluated once no
 // shard can still contribute.
+//
+// Cells exist only for (spot, slot) pairs a shard actually fed: a read of a
+// never-fed pair is served from the per-spot empty context without
+// allocating, so a scraper walking the whole grid cannot grow the map. The
+// live cell count is exported as the ingest_aggregator_cells gauge.
 type aggregator struct {
 	grid core.SlotGrid
 	ths  []core.Thresholds
 	amp  core.Amplification
+	met  *metrics
 
 	mu    sync.Mutex
 	cells map[cellKey]*cell
+	// Per-spot context of a slot with no activity, computed on first need;
+	// identical for every empty slot of a spot, so one cached copy serves
+	// arbitrarily many reads.
+	empty []emptyCtx
+}
+
+// emptyCtx is one spot's lazily computed no-activity context.
+type emptyCtx struct {
+	feats core.SlotFeatures
+	label core.QueueType
+	done  bool
 }
 
 // add merges every SlotClosed event's raw statistics.
@@ -46,7 +65,7 @@ func (a *aggregator) add(events []stream.Event) {
 		k := cellKey{ev.Spot, ev.Slot}
 		c := a.cells[k]
 		if c == nil {
-			c = &cell{}
+			c = &cell{closedAt: time.Now()}
 			a.cells[k] = c
 		}
 		c.stats.Merge(&ev.Stats)
@@ -55,21 +74,38 @@ func (a *aggregator) add(events []stream.Event) {
 
 // context returns the merged features and label for a final (spot, slot),
 // computing and caching them on first read. A cell with no activity
-// classifies exactly like an empty batch slot.
+// classifies exactly like an empty batch slot — and is served without
+// retaining any per-slot state.
 func (a *aggregator) context(spot, slot int) (core.SlotFeatures, core.QueueType) {
 	k := cellKey{spot, slot}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	c := a.cells[k]
 	if c == nil {
-		c = &cell{}
-		a.cells[k] = c
+		e := &a.empty[spot]
+		if !e.done {
+			var zero stream.SlotStats
+			e.feats = zero.Features(a.grid.SlotLen, a.amp)
+			e.label = core.Classify([]core.SlotFeatures{e.feats}, a.ths[spot])[0]
+			e.done = true
+		}
+		return e.feats, e.label
 	}
 	if !c.done {
 		c.feats = c.stats.Features(a.grid.SlotLen, a.amp)
 		c.label = core.Classify([]core.SlotFeatures{c.feats}, a.ths[spot])[0]
 		c.stats = stream.SlotStats{} // raw stats are spent
 		c.done = true
+		if a.met != nil && !c.closedAt.IsZero() {
+			a.met.serveLag.Since(c.closedAt)
+		}
 	}
 	return c.feats, c.label
+}
+
+// cellCount is the ingest_aggregator_cells gauge read.
+func (a *aggregator) cellCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.cells)
 }

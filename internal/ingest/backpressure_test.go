@@ -3,7 +3,10 @@ package ingest
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"net/http/httptest"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -160,6 +163,124 @@ func TestBinaryFrames(t *testing.T) {
 	}
 	if st := svc.Stats(); st.BadRecords == 0 {
 		t.Fatal("torn frame not counted")
+	}
+}
+
+// TestConcurrentAcceptRacingClose: Accept calls racing a concurrent Close
+// or Abort must return promptly with nil, ErrClosed or ErrBackpressure —
+// never hang, never panic, under either backpressure policy.
+func TestConcurrentAcceptRacingClose(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		policy Backpressure
+		abort  bool
+	}{
+		{"block-close", Block, false},
+		{"block-abort", Block, true},
+		{"drop-close", DropOldest, false},
+		{"drop-abort", DropOldest, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			stall := make(chan struct{})
+			close(stall)
+			svc, err := NewService(tinyConfig(stall, tc.policy))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			start := make(chan struct{})
+			fail := make(chan error, 64)
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					<-start
+					for i := 0; i < 30; i++ {
+						_, err := svc.Accept(burst(20))
+						if err != nil && !errors.Is(err, ErrClosed) && !errors.Is(err, ErrBackpressure) {
+							fail <- err
+						}
+					}
+				}()
+			}
+			close(start)
+			time.Sleep(time.Millisecond)
+			if tc.abort {
+				svc.Abort()
+			} else if err := svc.Close(); err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(20 * time.Second):
+				t.Fatal("Accept goroutines hung racing shutdown")
+			}
+			close(fail)
+			for err := range fail {
+				t.Fatalf("unexpected Accept error: %v", err)
+			}
+		})
+	}
+}
+
+// TestStatsConsistentUnderLoad: Stats() snapshots taken while a producer
+// is feeding must be monotone (counters never go backwards), and once the
+// feed stops and flushes, every fed record is accounted for as accepted or
+// rejected.
+func TestStatsConsistentUnderLoad(t *testing.T) {
+	stall := make(chan struct{})
+	close(stall)
+	svc, err := NewService(tinyConfig(stall, Block))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var fed atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		base := time.Date(2026, 1, 5, 6, 0, 0, 0, time.UTC)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			recs := burst(20)
+			for j := range recs {
+				recs[j].Time = base.Add(time.Duration(i*20+j) * time.Second)
+			}
+			n, err := svc.Accept(recs)
+			fed.Add(int64(n))
+			if err != nil {
+				return
+			}
+		}
+	}()
+	var last Stats
+	for k := 0; k < 300; k++ {
+		st := svc.Stats()
+		if st.Accepted < last.Accepted || st.Rejected < last.Rejected ||
+			st.Dropped < last.Dropped || st.BadRecords < last.BadRecords {
+			t.Fatalf("stats went backwards: %+v after %+v", st, last)
+		}
+		last = st
+	}
+	close(stop)
+	wg.Wait()
+	if err := svc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if got := st.Accepted + st.Rejected; got != fed.Load() {
+		t.Fatalf("accepted %d + rejected %d = %d, fed %d records",
+			st.Accepted, st.Rejected, got, fed.Load())
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -16,7 +16,7 @@
 //	   └────┬────┴─────────┘
 //	     aggregator                    exact cross-shard SlotStats merge
 //	        │
-//	  GET /spots (queued)  GET /ingest/stats
+//	  GET /spots (queued)  GET /ingest/stats  GET /metrics
 //
 // Sharding is by taxi ID, so each taxi's trajectory — the unit over which
 // PEA, cleaning and the store's time-order invariant all operate — lives
@@ -32,6 +32,11 @@
 // code path — so the recovered state is byte-identical to the state at the
 // checkpoint, including records the cleaner held undecided. A crash loses
 // only the records that arrived after the last checkpoint.
+//
+// Observability: every counter, queue depth, stage latency and drop rate
+// is a collector in an obs.Registry (Config.Metrics; private by default).
+// The /ingest/stats JSON reads the same collectors the Prometheus /metrics
+// scrape renders, so the two views cannot disagree.
 package ingest
 
 import (
@@ -39,12 +44,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"taxiqueue/internal/clean"
 	"taxiqueue/internal/core"
 	"taxiqueue/internal/mdt"
+	"taxiqueue/internal/obs"
 	"taxiqueue/internal/stream"
 )
 
@@ -52,7 +59,8 @@ var (
 	// ErrBackpressure is returned by Accept under the Block policy when a
 	// shard queue stays full past the deadline.
 	ErrBackpressure = errors.New("ingest: shard queue full past deadline")
-	// ErrClosed is returned by Accept after Close.
+	// ErrClosed is returned by Accept and the control-plane ops (Flush,
+	// FlushUntil, Checkpoint) after Close or Abort.
 	ErrClosed = errors.New("ingest: service closed")
 )
 
@@ -103,6 +111,10 @@ type Config struct {
 	// CheckpointEvery is the number of logged records between automatic
 	// WAL checkpoints; 4096 when 0.
 	CheckpointEvery int
+	// Metrics is the registry the service's collectors live in; a private
+	// registry when nil. Hand it obs.Default (as queued does) to surface
+	// the series on a process-wide /metrics endpoint.
+	Metrics *obs.Registry
 
 	// testStall, when set, runs at the top of every shard worker
 	// iteration; tests use it to wedge a shard and exercise backpressure.
@@ -127,6 +139,9 @@ func (c Config) withDefaults() Config {
 	if c.Stream.Amplify.Factor == 0 {
 		c.Stream.Amplify = core.NoAmplification
 	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
 	return c
 }
 
@@ -137,9 +152,16 @@ type Service struct {
 	grid   core.SlotGrid
 	shards []*shard
 	agg    *aggregator
-	closed     atomic.Bool
-	stopped    atomic.Bool
-	badRecords atomic.Int64 // wire records that failed to decode
+	met    *metrics
+
+	// closed gates Accept (lock-free fast path); ctlMu + stopped gate the
+	// control plane: a control op holds the read side while its workers
+	// are guaranteed alive, Close/Abort take the write side to stop them.
+	// Without this gate, a Flush racing (or following) Close would post to
+	// workers that already exited and block forever on the reply.
+	closed  atomic.Bool
+	ctlMu   sync.RWMutex
+	stopped bool
 }
 
 // NewService validates cfg, replays any existing WAL files, and starts the
@@ -156,14 +178,18 @@ func NewService(cfg Config) (*Service, error) {
 	if cfg.Shards < 1 {
 		return nil, fmt.Errorf("ingest: bad shard count %d", cfg.Shards)
 	}
+	met := newMetrics(cfg.Metrics, cfg.Shards)
 	s := &Service{
 		cfg:  cfg,
 		grid: cfg.Stream.Grid,
+		met:  met,
 		agg: &aggregator{
 			grid:  cfg.Stream.Grid,
 			ths:   cfg.Stream.Thresholds,
 			amp:   cfg.Stream.Amplify,
+			met:   met,
 			cells: make(map[cellKey]*cell),
+			empty: make([]emptyCtx, len(cfg.Stream.Spots)),
 		},
 	}
 	if cfg.WALDir != "" {
@@ -179,11 +205,24 @@ func NewService(cfg Config) (*Service, error) {
 		}
 		s.shards[i] = sh
 	}
+	cfg.Metrics.GaugeFunc("ingest_aggregator_cells",
+		"Live (spot, slot) cells retained by the aggregator.",
+		func() float64 { return float64(s.agg.cellCount()) })
+	for i, sh := range s.shards {
+		ch := sh.ch
+		cfg.Metrics.GaugeFunc("ingest_queue_depth", "Records waiting in the shard queue.",
+			func() float64 { return float64(len(ch)) },
+			obs.Label{Name: "shard", Value: fmt.Sprint(i)})
+	}
 	for _, sh := range s.shards {
 		go sh.run()
 	}
 	return s, nil
 }
+
+// Registry returns the registry holding the service's collectors (the one
+// from Config.Metrics, or the private default). Mount it as /metrics.
+func (s *Service) Registry() *obs.Registry { return s.cfg.Metrics }
 
 // shardIndex routes a taxi ID to its shard (FNV-1a; allocation free).
 func shardIndex(id string, n int) int {
@@ -206,7 +245,7 @@ func (s *Service) Accept(recs []mdt.Record) (int, error) {
 	}
 	if s.cfg.Policy == DropOldest {
 		for _, r := range recs {
-			s.shards[shardIndex(r.TaxiID, len(s.shards))].offer(r)
+			s.shards[shardIndex(r.TaxiID, len(s.shards))].offer(queuedRec{rec: r, at: time.Now()})
 		}
 		return len(recs), nil
 	}
@@ -214,11 +253,12 @@ func (s *Service) Accept(recs []mdt.Record) (int, error) {
 	defer deadline.Stop()
 	for i, r := range recs {
 		sh := s.shards[shardIndex(r.TaxiID, len(s.shards))]
+		q := queuedRec{rec: r, at: time.Now()}
 		select {
-		case sh.ch <- r:
+		case sh.ch <- q:
 		default:
 			select {
-			case sh.ch <- r:
+			case sh.ch <- q:
 			case <-deadline.C:
 				return i, ErrBackpressure
 			}
@@ -227,9 +267,24 @@ func (s *Service) Accept(recs []mdt.Record) (int, error) {
 	return len(recs), nil
 }
 
-// control broadcasts an op to every shard after its queued records drain,
-// and waits for all of them; the first shard error wins.
+// control broadcasts an op to every live shard and waits for all replies;
+// the first shard error wins. The read lock pins the workers alive for the
+// whole exchange: after Close or Abort it reports ErrClosed instead of
+// posting to exited workers (which used to fill the ctl buffer and hang
+// forever — exposed over HTTP as a stuck /ingest/flush).
 func (s *Service) control(op ctlOp, at time.Time) error {
+	s.ctlMu.RLock()
+	defer s.ctlMu.RUnlock()
+	if s.stopped {
+		return ErrClosed
+	}
+	return s.broadcast(op, at)
+}
+
+// broadcast fans op to every shard and collects the replies. Callers must
+// hold ctlMu (either side) with stopped false, or be the op that is
+// setting stopped.
+func (s *Service) broadcast(op ctlOp, at time.Time) error {
 	replies := make([]chan error, len(s.shards))
 	for i, sh := range s.shards {
 		replies[i] = make(chan error, 1)
@@ -247,44 +302,78 @@ func (s *Service) control(op ctlOp, at time.Time) error {
 // Flush drains every shard, releases the cleaners' held records, closes
 // every open slot, and checkpoints — the whole grid becomes final. Late
 // records are still counted afterwards but can no longer change a label.
-// Ops run once a shard's queue is empty, so call Flush after the feed
-// pauses (it is the "end of day" switch, and what graceful Close uses).
+// For a paused feed the op runs after the backlog drains (the "end of day"
+// switch, and what graceful Close uses); under sustained load it runs
+// after at most one queue depth of records. Returns ErrClosed after
+// Close/Abort.
 func (s *Service) Flush() error { return s.control(opFlush, time.Time{}) }
 
 // FlushUntil finalizes every slot the feed can no longer touch given its
 // clock reached now, without closing the current slot — the timer-driven
-// variant for feeds that pause mid-slot.
+// variant for feeds that pause mid-slot. Returns ErrClosed after
+// Close/Abort.
 func (s *Service) FlushUntil(now time.Time) error { return s.control(opFlushUntil, now) }
 
-// Checkpoint forces an immediate atomic WAL save on every shard.
+// Checkpoint forces an immediate atomic WAL save on every shard. Returns
+// ErrClosed after Close/Abort.
 func (s *Service) Checkpoint() error { return s.control(opCheckpoint, time.Time{}) }
 
 // Close gracefully shuts down: stops accepting, drains the queues, flushes
 // cleaners and engines, takes a final checkpoint and stops the workers.
+// Close is idempotent; concurrent control ops either finish first (the
+// write lock waits for them) or observe ErrClosed.
 func (s *Service) Close() error {
 	s.closed.Store(true)
-	if !s.stopped.CompareAndSwap(false, true) {
+	s.ctlMu.Lock()
+	defer s.ctlMu.Unlock()
+	if s.stopped {
 		return nil
 	}
-	return s.control(opStop, time.Time{})
+	s.stopped = true
+	return s.broadcast(opStop, time.Time{})
 }
 
-// Abort stops the workers without flushing or checkpointing — the
-// crash-test switch: on-disk state stays at the last checkpoint.
+// Abort stops the workers without flushing, draining or checkpointing —
+// the crash-test switch: on-disk state stays at the last checkpoint.
 func (s *Service) Abort() {
 	s.closed.Store(true)
-	if !s.stopped.CompareAndSwap(false, true) {
+	s.ctlMu.Lock()
+	defer s.ctlMu.Unlock()
+	if s.stopped {
 		return
 	}
-	_ = s.control(opAbort, time.Time{})
+	s.stopped = true
+	_ = s.broadcast(opAbort, time.Time{})
+}
+
+// Health reports whether the service can still do its job: nil while the
+// workers are alive and, with durability on, the WAL directory is
+// writable. It is the live half of queued's /healthz readiness check.
+func (s *Service) Health() error {
+	s.ctlMu.RLock()
+	stopped := s.stopped
+	s.ctlMu.RUnlock()
+	if stopped || s.closed.Load() {
+		return ErrClosed
+	}
+	if s.cfg.WALDir != "" {
+		f, err := os.CreateTemp(s.cfg.WALDir, ".healthz-*")
+		if err != nil {
+			return fmt.Errorf("ingest: wal dir not writable: %w", err)
+		}
+		name := f.Name()
+		f.Close()
+		os.Remove(name)
+	}
+	return nil
 }
 
 // minClosed returns the cross-shard finality watermark: every slot below it
 // is final in every shard, so its merged context can never change.
 func (s *Service) minClosed() int {
-	min := int(s.shards[0].watermark.Load())
-	for _, sh := range s.shards[1:] {
-		if w := int(sh.watermark.Load()); w < min {
+	min := int(s.met.shards[0].watermark.Value())
+	for i := range s.met.shards[1:] {
+		if w := int(s.met.shards[i+1].watermark.Value()); w < min {
 			min = w
 		}
 	}
@@ -316,7 +405,7 @@ func (s *Service) Label(spot, slot int) (core.QueueType, bool) {
 type ShardStats struct {
 	Shard       int   `json:"shard"`
 	Accepted    int64 `json:"accepted"`     // survived cleaning, in the engine
-	Rejected    int64 `json:"rejected"`     // removed by validation/cleaning
+	Rejected    int64 `json:"rejected"`     // removed by validation/cleaning/ordering
 	Dropped     int64 `json:"dropped"`      // discarded by DropOldest backpressure
 	Replayed    int64 `json:"replayed"`     // raw WAL records replayed at startup
 	QueueDepth  int   `json:"queue_depth"`  // records waiting right now
@@ -337,25 +426,27 @@ type Stats struct {
 	FinalBelow int          `json:"final_below"` // min shard watermark: slots below are served final
 }
 
-// Stats snapshots every counter.
+// Stats snapshots every counter — the same registry collectors /metrics
+// renders, so the JSON and Prometheus views always agree.
 func (s *Service) Stats() Stats {
 	out := Stats{
 		Policy:     s.cfg.Policy.String(),
 		Shards:     make([]ShardStats, len(s.shards)),
-		BadRecords: s.badRecords.Load(),
+		BadRecords: s.met.badRecords.Value(),
 		FinalBelow: s.minClosed(),
 	}
 	for i, sh := range s.shards {
+		sm := &s.met.shards[i]
 		st := ShardStats{
 			Shard:       i,
-			Accepted:    sh.accepted.Load(),
-			Rejected:    sh.rejected.Load(),
-			Dropped:     sh.dropped.Load(),
-			Replayed:    sh.replayed.Load(),
+			Accepted:    sm.accepted.Value(),
+			Rejected:    sm.rejected.Value(),
+			Dropped:     sm.dropped.Value(),
+			Replayed:    sm.replayed.Value(),
 			QueueDepth:  len(sh.ch),
-			ClosedBelow: int(sh.watermark.Load()),
-			WALPending:  sh.walPending.Load(),
-			Checkpoints: sh.checkpoints.Load(),
+			ClosedBelow: int(sm.watermark.Value()),
+			WALPending:  sm.walPending.Value(),
+			Checkpoints: sm.checkpoints.Value(),
 		}
 		out.Shards[i] = st
 		out.Accepted += st.Accepted

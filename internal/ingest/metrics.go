@@ -1,0 +1,103 @@
+package ingest
+
+import (
+	"net/http"
+	"strconv"
+
+	"taxiqueue/internal/obs"
+)
+
+// metrics is the service's observability surface: every counter the
+// /ingest/stats JSON reports is one of these registry-backed collectors, so
+// the JSON view and the Prometheus /metrics scrape read the same atomics
+// and can never disagree. Histograms cover each stage of the live path:
+// HTTP decode → shard queue wait → per-record processing (clean + engine)
+// → WAL checkpoint → slot-close-to-serve lag.
+type metrics struct {
+	reg *obs.Registry
+
+	decode    *obs.Histogram // ingest_http_decode_seconds
+	queueWait *obs.Histogram // ingest_queue_wait_seconds
+	process   *obs.Histogram // ingest_process_seconds
+	ckpt      *obs.Histogram // ingest_wal_checkpoint_seconds
+	serveLag  *obs.Histogram // ingest_slot_serve_lag_seconds
+
+	httpReqs   map[int]*obs.Counter // ingest_http_requests_total{code}
+	badRecords *obs.Counter         // ingest_bad_records_total
+
+	// removed{reason} breaks rejections down by cause across all shards.
+	removedGPS      *obs.Counter
+	removedDup      *obs.Counter
+	removedImproper *obs.Counter
+	removedOOO      *obs.Counter
+
+	shards []shardMetrics
+}
+
+// shardMetrics is one shard's per-series collectors (label shard="i").
+type shardMetrics struct {
+	accepted    *obs.Counter
+	rejected    *obs.Counter
+	dropped     *obs.Counter
+	replayed    *obs.Counter
+	checkpoints *obs.Counter
+	walPending  *obs.Gauge
+	watermark   *obs.Gauge
+	openSlots   *obs.Gauge
+	taxis       *obs.Gauge
+}
+
+// newMetrics registers every ingest series in reg. Registration is
+// idempotent, so pointing two services at one registry shares the series —
+// fine for the single queued process, and tests use private registries.
+func newMetrics(reg *obs.Registry, shards int) *metrics {
+	m := &metrics{
+		reg:       reg,
+		decode:    reg.Histogram("ingest_http_decode_seconds", "Time to read and decode one /ingest body.", obs.DefBuckets),
+		queueWait: reg.Histogram("ingest_queue_wait_seconds", "Time one record spent in its shard queue before processing.", obs.DefBuckets),
+		process:   reg.Histogram("ingest_process_seconds", "Per-record shard processing time (ordering check, WAL append, clean, engine ingest).", obs.DefBuckets),
+		ckpt:      reg.Histogram("ingest_wal_checkpoint_seconds", "Duration of one atomic WAL checkpoint save.", obs.DefBuckets),
+		serveLag:  reg.Histogram("ingest_slot_serve_lag_seconds", "Lag from a (spot, slot) cell first closing in a shard to its first read.", obs.DefBuckets),
+
+		badRecords: reg.Counter("ingest_bad_records_total", "Wire payloads or lines that failed to decode."),
+
+		removedGPS:      reg.Counter("ingest_removed_total", "Records removed before the engine, by reason.", obs.Label{Name: "reason", Value: "gps_outlier"}),
+		removedDup:      reg.Counter("ingest_removed_total", "Records removed before the engine, by reason.", obs.Label{Name: "reason", Value: "duplicate"}),
+		removedImproper: reg.Counter("ingest_removed_total", "Records removed before the engine, by reason.", obs.Label{Name: "reason", Value: "improper_state"}),
+		removedOOO:      reg.Counter("ingest_removed_total", "Records removed before the engine, by reason.", obs.Label{Name: "reason", Value: "out_of_order"}),
+
+		httpReqs: make(map[int]*obs.Counter),
+	}
+	for _, code := range []int{http.StatusOK, http.StatusBadRequest, http.StatusMethodNotAllowed,
+		http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusInternalServerError} {
+		m.httpReqs[code] = reg.Counter("ingest_http_requests_total",
+			"/ingest requests by response code.", obs.Label{Name: "code", Value: strconv.Itoa(code)})
+	}
+	m.shards = make([]shardMetrics, shards)
+	for i := range m.shards {
+		l := obs.Label{Name: "shard", Value: strconv.Itoa(i)}
+		m.shards[i] = shardMetrics{
+			accepted:    reg.Counter("ingest_accepted_total", "Records that survived cleaning and entered the engine.", l),
+			rejected:    reg.Counter("ingest_rejected_total", "Records removed by validation, cleaning or the ordering rule.", l),
+			dropped:     reg.Counter("ingest_dropped_total", "Records discarded by DropOldest backpressure.", l),
+			replayed:    reg.Counter("ingest_replayed_total", "Raw WAL records replayed at startup.", l),
+			checkpoints: reg.Counter("ingest_checkpoints_total", "Completed atomic WAL checkpoints.", l),
+			walPending:  reg.Gauge("ingest_wal_pending", "Records logged since the last checkpoint (what a crash would lose).", l),
+			watermark:   reg.Gauge("ingest_watermark_slot", "Shard finality watermark: slots below are final here.", l),
+			openSlots:   reg.Gauge("ingest_engine_open_slots", "Engine accumulator cells still open in this shard.", l),
+			taxis:       reg.Gauge("ingest_engine_taxis", "Distinct taxis this shard's engine is tracking.", l),
+		}
+	}
+	return m
+}
+
+// countHTTP bumps the per-code request counter (codes outside the
+// pre-registered set register lazily).
+func (m *metrics) countHTTP(code int) {
+	c := m.httpReqs[code]
+	if c == nil {
+		c = m.reg.Counter("ingest_http_requests_total",
+			"/ingest requests by response code.", obs.Label{Name: "code", Value: strconv.Itoa(code)})
+	}
+	c.Inc()
+}

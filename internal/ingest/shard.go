@@ -3,7 +3,6 @@ package ingest
 import (
 	"fmt"
 	"os"
-	"sync/atomic"
 	"time"
 
 	"taxiqueue/internal/clean"
@@ -12,8 +11,10 @@ import (
 	"taxiqueue/internal/stream"
 )
 
-// ctlOp is a shard control operation; ops are handled only when the
-// shard's record queue is empty, so they apply after the backlog drains.
+// ctlOp is a shard control operation. An op is handled after the backlog
+// that was queued when the worker picked it up — so a quiescent feed gets
+// the old drain-everything semantics, while a sustained producer can delay
+// an op by at most one queue depth instead of starving it forever.
 type ctlOp uint8
 
 const (
@@ -21,7 +22,7 @@ const (
 	opFlushUntil              // close slots final as of msg.at
 	opCheckpoint              // atomic WAL save
 	opStop                    // graceful: opFlush then exit
-	opAbort                   // crash-test: exit immediately
+	opAbort                   // crash-test: exit immediately, no drain
 )
 
 type ctlMsg struct {
@@ -30,14 +31,26 @@ type ctlMsg struct {
 	reply chan error
 }
 
+// queuedRec is one queue element: the record plus its enqueue instant, so
+// the worker can report how long records sit in the shard queue.
+type queuedRec struct {
+	rec mdt.Record
+	at  time.Time
+}
+
+// engineGaugeEvery is how many processed records pass between refreshes of
+// the engine-introspection gauges (open slots, tracked taxis) — they are
+// O(spots) to read, too hot for every record and plenty fresh at this rate.
+const engineGaugeEvery = 256
+
 // shard owns one partition of the fleet: a bounded record queue, a
 // streaming cleaner, a write-ahead store and an online engine. Only the
 // shard's worker goroutine touches the cleaner/engine/WAL; everything the
-// rest of the service reads is atomic.
+// rest of the service reads is an atomic registry collector.
 type shard struct {
 	id  int
 	svc *Service
-	ch  chan mdt.Record
+	ch  chan queuedRec
 	ctl chan ctlMsg
 
 	cleaner *clean.Streamer
@@ -45,13 +58,16 @@ type shard struct {
 	wal     *store.Store // nil when durability is off
 	walPath string
 
-	accepted    atomic.Int64
-	rejected    atomic.Int64
-	dropped     atomic.Int64
-	replayed    atomic.Int64
-	walPending  atomic.Int64 // raw records logged since last checkpoint
-	checkpoints atomic.Int64
-	watermark   atomic.Int64 // engine finality: slots below are final here
+	// lastT enforces the per-taxi time-order rule uniformly: it applies
+	// before the WAL *and* when durability is off, so both modes reject the
+	// same records and serve identical labels from identical input. The
+	// granularity is whole seconds — exactly the store's Append invariant,
+	// so sub-second jitter (e.g. the RFC3339 JSON wire truncation) passes.
+	lastT map[string]int64 // last accepted Unix second per taxi
+
+	met       *metrics
+	sm        *shardMetrics
+	sinceStat int // records since the engine gauges were refreshed
 
 	done chan struct{}
 }
@@ -61,10 +77,13 @@ func newShard(s *Service, i int) (*shard, error) {
 	sh := &shard{
 		id:      i,
 		svc:     s,
-		ch:      make(chan mdt.Record, s.cfg.QueueDepth),
+		ch:      make(chan queuedRec, s.cfg.QueueDepth),
 		ctl:     make(chan ctlMsg, 4),
 		cleaner: clean.NewStreamer(s.cfg.Clean),
 		engine:  stream.NewLive(s.cfg.Stream),
+		lastT:   make(map[string]int64),
+		met:     s.met,
+		sm:      &s.met.shards[i],
 		done:    make(chan struct{}),
 	}
 	if s.cfg.WALDir == "" {
@@ -95,22 +114,17 @@ func newShard(s *Service, i int) (*shard, error) {
 func (sh *shard) replay(st *store.Store) {
 	var n int64
 	st.Scan(time.Time{}, time.Unix(1<<40, 0), func(r mdt.Record) bool {
-		removedBefore := sh.cleaner.Stats().Removed()
-		for _, surv := range sh.cleaner.Push(r) {
-			sh.ingest(surv)
-		}
-		if d := sh.cleaner.Stats().Removed() - removedBefore; d > 0 {
-			sh.rejected.Add(int64(d))
-		}
+		sh.lastT[r.TaxiID] = r.Time.Unix()
+		sh.pushClean(r)
 		n++
 		return true
 	})
-	sh.replayed.Store(n)
+	sh.sm.replayed.Add(n)
 }
 
 // offer enqueues under DropOldest: it never blocks, discarding queued
 // records (oldest first) to make room.
-func (sh *shard) offer(r mdt.Record) {
+func (sh *shard) offer(r queuedRec) {
 	for {
 		select {
 		case sh.ch <- r:
@@ -119,25 +133,21 @@ func (sh *shard) offer(r mdt.Record) {
 		}
 		select {
 		case <-sh.ch:
-			sh.dropped.Add(1)
+			sh.sm.dropped.Inc()
 		default:
 		}
 	}
 }
 
-// run is the worker loop. Records take priority; control ops run when the
-// queue is momentarily empty.
+// run is the worker loop. The select is fair between records and control
+// ops, so a sustained producer can no longer starve Flush/Checkpoint; the
+// drain inside handle keeps op-after-backlog ordering for records already
+// queued when the op is picked up.
 func (sh *shard) run() {
 	defer close(sh.done)
 	for {
 		if hook := sh.svc.cfg.testStall; hook != nil {
 			hook(sh.id)
-		}
-		select {
-		case rec := <-sh.ch:
-			sh.process(rec)
-			continue
-		default:
 		}
 		select {
 		case rec := <-sh.ch:
@@ -150,8 +160,17 @@ func (sh *shard) run() {
 	}
 }
 
-// handle runs one control op; true means exit the worker.
+// handle runs one control op; true means exit the worker. Every op except
+// Abort first drains the backlog present at pickup time: for a paused feed
+// that is the whole queue (the historical "ops run once the queue is
+// empty" contract), and under sustained load it bounds the op's delay at
+// one queue depth.
 func (sh *shard) handle(msg ctlMsg) bool {
+	if msg.op != opAbort {
+		for n := len(sh.ch); n > 0; n-- {
+			sh.process(<-sh.ch)
+		}
+	}
 	var err error
 	exit := false
 	switch msg.op {
@@ -169,6 +188,7 @@ func (sh *shard) handle(msg ctlMsg) bool {
 	case opAbort:
 		exit = true
 	}
+	sh.refreshEngineGauges()
 	msg.reply <- err
 	return exit
 }
@@ -182,33 +202,70 @@ func (sh *shard) flushAll() {
 	sh.emit(sh.engine.Flush())
 }
 
-// process logs one arriving record to the WAL, cleans it and ingests the
-// survivors. The record hits the WAL before the cleaner sees it so that a
-// checkpoint always captures the cleaner's held records too.
-func (sh *shard) process(rec mdt.Record) {
+// process applies the ordering rule, logs one arriving record to the WAL,
+// cleans it and ingests the survivors. The record hits the WAL before the
+// cleaner sees it so that a checkpoint always captures the cleaner's held
+// records too.
+func (sh *shard) process(q queuedRec) {
+	now := time.Now()
+	sh.met.queueWait.Observe(now.Sub(q.at).Seconds())
+	rec := q.rec
+	// One ordering rule for both durability modes: per-taxi time order
+	// (client bug otherwise). Checking here — not via store.Append — means
+	// WAL-on and WAL-off reject the same records, the cleaner never sees a
+	// time-travelling record, and replay can never fail.
+	t := rec.Time.Unix()
+	if t < sh.lastT[rec.TaxiID] {
+		sh.sm.rejected.Inc()
+		sh.met.removedOOO.Inc()
+		return
+	}
+	sh.lastT[rec.TaxiID] = t
 	if sh.wal != nil {
 		if err := sh.wal.Append(rec); err != nil {
-			// Per-taxi time order violated (client bug): reject rather
-			// than poison the WAL — replay must never fail.
-			sh.rejected.Add(1)
+			// Unreachable while the ordering rule above is at least as
+			// strict as the store's; kept so a future invariant change
+			// degrades to a rejection rather than a poisoned WAL.
+			sh.sm.rejected.Inc()
+			sh.met.removedOOO.Inc()
 			return
 		}
-		if sh.walPending.Add(1) >= int64(sh.svc.cfg.CheckpointEvery) {
+		if sh.sm.walPending.Add(1) >= int64(sh.svc.cfg.CheckpointEvery) {
 			_ = sh.checkpoint() // error already recorded; keep serving
 		}
 	}
-	removedBefore := sh.cleaner.Stats().Removed()
+	sh.pushClean(rec)
+	sh.met.process.Since(now)
+	if sh.sinceStat++; sh.sinceStat >= engineGaugeEvery {
+		sh.refreshEngineGauges()
+	}
+}
+
+// pushClean feeds one raw record to the streaming cleaner, ingests the
+// survivors and attributes any removals to their §6.1.1 class.
+func (sh *shard) pushClean(rec mdt.Record) {
+	before := sh.cleaner.Stats()
 	for _, r := range sh.cleaner.Push(rec) {
 		sh.ingest(r)
 	}
-	if d := sh.cleaner.Stats().Removed() - removedBefore; d > 0 {
-		sh.rejected.Add(int64(d))
+	after := sh.cleaner.Stats()
+	if d := int64(after.GPSOutliers - before.GPSOutliers); d > 0 {
+		sh.sm.rejected.Add(d)
+		sh.met.removedGPS.Add(d)
+	}
+	if d := int64(after.Duplicates - before.Duplicates); d > 0 {
+		sh.sm.rejected.Add(d)
+		sh.met.removedDup.Add(d)
+	}
+	if d := int64(after.ImproperStates - before.ImproperStates); d > 0 {
+		sh.sm.rejected.Add(d)
+		sh.met.removedImproper.Add(d)
 	}
 }
 
 // ingest feeds one cleaned survivor to the engine.
 func (sh *shard) ingest(r mdt.Record) {
-	sh.accepted.Add(1)
+	sh.sm.accepted.Inc()
 	sh.emit(sh.engine.Ingest(r))
 }
 
@@ -218,7 +275,15 @@ func (sh *shard) emit(events []stream.Event) {
 	if len(events) > 0 {
 		sh.svc.agg.add(events)
 	}
-	sh.watermark.Store(int64(sh.engine.Closed()))
+	sh.sm.watermark.Set(int64(sh.engine.Closed()))
+}
+
+// refreshEngineGauges publishes the engine-introspection gauges; O(spots),
+// so it runs every engineGaugeEvery records and after each control op.
+func (sh *shard) refreshEngineGauges() {
+	sh.sinceStat = 0
+	sh.sm.openSlots.Set(int64(sh.engine.OpenSlots()))
+	sh.sm.taxis.Set(int64(sh.engine.TrackedTaxis()))
 }
 
 // checkpoint atomically rewrites the shard's WAL file.
@@ -226,10 +291,12 @@ func (sh *shard) checkpoint() error {
 	if sh.wal == nil {
 		return nil
 	}
+	t0 := time.Now()
 	if err := sh.wal.SaveFile(sh.walPath); err != nil {
 		return err
 	}
-	sh.walPending.Store(0)
-	sh.checkpoints.Add(1)
+	sh.met.ckpt.Since(t0)
+	sh.sm.walPending.Set(0)
+	sh.sm.checkpoints.Inc()
 	return nil
 }

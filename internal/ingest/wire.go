@@ -139,11 +139,18 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
+// respond writes the JSON reply and feeds the per-code request counter.
+func (s *Service) respond(w http.ResponseWriter, status int, v any) {
+	s.met.countHTTP(status)
+	writeJSON(w, status, v)
+}
+
 // HandleIngest is the POST /ingest handler: decode, route, apply
 // backpressure. Under Block a deadline miss answers 429 with the accepted
 // prefix count so the client can retry the rest.
 func (s *Service) HandleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
+		s.met.countHTTP(http.StatusMethodNotAllowed)
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
@@ -153,32 +160,34 @@ func (s *Service) HandleIngest(w http.ResponseWriter, r *http.Request) {
 		bad  int64
 		err  error
 	)
+	t0 := time.Now()
 	if r.Header.Get("Content-Type") == ContentTypeBinary {
 		var raw []byte
 		if raw, err = io.ReadAll(body); err == nil {
 			recs, err = decodeBinary(raw)
 		}
 		if err != nil {
-			s.badRecords.Add(1)
-			writeJSON(w, http.StatusBadRequest, ingestResponse{Error: err.Error()})
+			s.met.badRecords.Add(1)
+			s.respond(w, http.StatusBadRequest, ingestResponse{Error: err.Error()})
 			return
 		}
 	} else {
 		recs, bad, err = decodeJSONLines(body)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, ingestResponse{Bad: bad, Error: err.Error()})
+			s.respond(w, http.StatusBadRequest, ingestResponse{Bad: bad, Error: err.Error()})
 			return
 		}
-		s.badRecords.Add(bad)
+		s.met.badRecords.Add(bad)
 	}
+	s.met.decode.Since(t0)
 	n, err := s.Accept(recs)
 	switch {
 	case errors.Is(err, ErrClosed):
-		writeJSON(w, http.StatusServiceUnavailable, ingestResponse{Error: "ingest closed"})
+		s.respond(w, http.StatusServiceUnavailable, ingestResponse{Error: "ingest closed"})
 	case errors.Is(err, ErrBackpressure):
-		writeJSON(w, http.StatusTooManyRequests, ingestResponse{Accepted: n, Bad: bad, Error: "backpressure: retry remaining records"})
+		s.respond(w, http.StatusTooManyRequests, ingestResponse{Accepted: n, Bad: bad, Error: "backpressure: retry remaining records"})
 	default:
-		writeJSON(w, http.StatusOK, ingestResponse{Accepted: n, Bad: bad})
+		s.respond(w, http.StatusOK, ingestResponse{Accepted: n, Bad: bad})
 	}
 }
 
@@ -192,14 +201,20 @@ func (s *Service) HandleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // HandleFlush is the POST /ingest/flush handler: the end-of-feed switch
-// that finalizes every slot (see Service.Flush).
+// that finalizes every slot (see Service.Flush). After Close/Abort it
+// answers 503 immediately — it used to post to exited workers and hang the
+// request forever.
 func (s *Service) HandleFlush(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
 	if err := s.Flush(); err != nil {
-		writeJSON(w, http.StatusInternalServerError, ingestResponse{Error: err.Error()})
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, ingestResponse{Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"flushed": true, "final_below": s.minClosed()})

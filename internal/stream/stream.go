@@ -284,6 +284,21 @@ func (l *Live) finalize(spot, slot int, acc *SlotStats) Event {
 // is final in this engine and can never accumulate again.
 func (l *Live) Closed() int { return l.closed }
 
+// OpenSlots returns how many (spot, slot) accumulator cells are currently
+// open — provisional state the engine still holds in memory. Same
+// single-goroutine discipline as Ingest; callers publishing it to a
+// concurrent reader (a metrics gauge) must copy it into an atomic.
+func (l *Live) OpenSlots() int {
+	n := 0
+	for i := range l.accs {
+		n += len(l.accs[i])
+	}
+	return n
+}
+
+// TrackedTaxis returns how many distinct taxis have per-taxi PEA state.
+func (l *Live) TrackedTaxis() int { return len(l.taxis) }
+
 // Flush closes every open slot (end of stream) and returns the final
 // events in (slot, spot) order. After Flush the whole grid is final:
 // further records still feed PEA but can no longer change any slot.

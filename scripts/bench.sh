@@ -64,6 +64,6 @@ END { print "" }
 rm -f /tmp/bench_body.$$
 echo ">> wrote $out"
 
-echo ">> go test -race ./internal/cluster ./internal/core ./internal/ingest ./internal/stream"
-go test -race -count=1 ./internal/cluster ./internal/core ./internal/ingest ./internal/stream
+echo ">> go test -race ./internal/cluster ./internal/core ./internal/ingest ./internal/obs ./internal/stream"
+go test -race -count=1 ./internal/cluster ./internal/core ./internal/ingest ./internal/obs ./internal/stream
 echo ">> race check clean"

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# The pre-PR gate: build everything, vet, run the full test suite, then
+# re-run the concurrent packages under the race detector. Green here is the
+# bar every change must clear (ROADMAP tier-1 plus the race gate).
+#
+# Usage:
+#   scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo ">> go build ./..."
+go build ./...
+
+echo ">> go vet ./..."
+go vet ./...
+
+echo ">> go test ./..."
+go test ./...
+
+echo ">> go test -race (concurrent packages)"
+go test -race -count=1 \
+	./internal/cluster ./internal/core ./internal/ingest \
+	./internal/obs ./internal/stream ./cmd/queued
+
+echo ">> all checks clean"
