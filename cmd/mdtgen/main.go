@@ -12,92 +12,41 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"log"
-	"net/http"
 	"os"
 	"time"
 
 	"taxiqueue/internal/citymap"
-	"taxiqueue/internal/ingest"
+	"taxiqueue/internal/feedclient"
 	"taxiqueue/internal/mdt"
 	"taxiqueue/internal/sim"
 	"taxiqueue/internal/store"
 )
 
-// postBatch sends one record batch and returns how many the server
-// accepted along with the HTTP status.
-func postBatch(client *http.Client, url string, recs []mdt.Record, encoding string) (int, int, error) {
-	var body bytes.Buffer
-	ct := ingest.ContentTypeJSONLines
-	if encoding == "binary" {
-		ct = ingest.ContentTypeBinary
-		body.Write(ingest.EncodeBinary(nil, recs))
-	} else if err := ingest.EncodeJSONLines(&body, recs); err != nil {
-		return 0, 0, err
-	}
-	resp, err := client.Post(url, ct, &body)
-	if err != nil {
-		return 0, 0, err
-	}
-	defer resp.Body.Close()
-	var ir struct {
-		Accepted int    `json:"accepted"`
-		Error    string `json:"error"`
-	}
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return 0, resp.StatusCode, err
-	}
-	if err := json.Unmarshal(raw, &ir); err != nil {
-		return 0, resp.StatusCode, fmt.Errorf("bad /ingest reply (%d): %s", resp.StatusCode, raw)
-	}
-	if ir.Error != "" && resp.StatusCode != http.StatusTooManyRequests {
-		return ir.Accepted, resp.StatusCode, fmt.Errorf("/ingest: %s", ir.Error)
-	}
-	return ir.Accepted, resp.StatusCode, nil
-}
-
 // streamFeed replays recs (already in timestamp order) to a live /ingest
-// endpoint, pacing to rate records/sec when rate > 0 and retrying the
-// unaccepted remainder on 429 backpressure.
-func streamFeed(url string, recs []mdt.Record, rate float64, batchSize int, encoding string) error {
-	client := &http.Client{Timeout: 30 * time.Second}
+// endpoint through the resilient feed client: per-request timeouts, capped
+// exponential backoff across transport errors and 5xx, and 429
+// backpressure resumed at the server's processed cursor.
+func streamFeed(url string, recs []mdt.Record, rate float64, batchSize int, encoding string) (*feedclient.Client, error) {
+	cl, err := feedclient.New(feedclient.Config{
+		URL: url, BatchSize: batchSize, Encoding: encoding, Rate: rate,
+		Logf: func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+	})
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
-	sent, retries := 0, 0
-	for sent < len(recs) {
-		if rate > 0 {
-			due := start.Add(time.Duration(float64(sent) / rate * float64(time.Second)))
-			time.Sleep(time.Until(due))
-		}
-		n := batchSize
-		if n > len(recs)-sent {
-			n = len(recs) - sent
-		}
-		accepted, status, err := postBatch(client, url, recs[sent:sent+n], encoding)
-		if err != nil {
-			return err
-		}
-		switch status {
-		case http.StatusOK:
-			sent += n
-		case http.StatusTooManyRequests:
-			// The server took a prefix; advance past it and retry the rest.
-			sent += accepted
-			retries++
-			time.Sleep(100 * time.Millisecond)
-		default:
-			return fmt.Errorf("/ingest: unexpected status %d", status)
-		}
+	rep, err := cl.Stream(context.Background(), recs)
+	if err != nil {
+		return nil, fmt.Errorf("after %d records: %w", rep.Sent, err)
 	}
 	elapsed := time.Since(start)
-	fmt.Fprintf(os.Stderr, "mdtgen: streamed %d records in %v (%.0f rec/s, %d backpressure retries)\n",
-		len(recs), elapsed.Round(time.Millisecond), float64(len(recs))/elapsed.Seconds(), retries)
-	return nil
+	fmt.Fprintf(os.Stderr, "mdtgen: streamed %d records in %v (%.0f rec/s, %d retries, %d backpressure rounds)\n",
+		rep.Sent, elapsed.Round(time.Millisecond), float64(rep.Sent)/elapsed.Seconds(), rep.Retries, rep.Backpressure)
+	return cl, nil
 }
 
 func main() {
@@ -159,31 +108,19 @@ func main() {
 	})
 
 	if *streamURL != "" {
-		if *encoding != "binary" && *encoding != "json" {
-			log.Fatalf("unknown -encoding %q (want binary or json)", *encoding)
-		}
-		if err := streamFeed(*streamURL, res.Records, *rate, *batch, *encoding); err != nil {
+		cl, err := streamFeed(*streamURL, res.Records, *rate, *batch, *encoding)
+		if err != nil {
 			log.Fatal(err)
 		}
 		if *flush {
-			resp, err := http.Post(*streamURL+"/flush", "", nil)
-			if err != nil {
+			if err := cl.Flush(context.Background()); err != nil {
 				log.Fatal(err)
-			}
-			resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
-				log.Fatalf("flush: status %d", resp.StatusCode)
 			}
 		}
 		if *stats {
-			resp, err := http.Get(*streamURL + "/stats")
+			raw, err := cl.Stats(context.Background())
 			if err != nil {
 				log.Fatal(err)
-			}
-			raw, err := io.ReadAll(resp.Body)
-			resp.Body.Close()
-			if err != nil || resp.StatusCode != http.StatusOK {
-				log.Fatalf("stats: status %d: %v", resp.StatusCode, err)
 			}
 			fmt.Fprintf(os.Stderr, "mdtgen: server stats: %s\n", raw)
 		}

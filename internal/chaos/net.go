@@ -1,0 +1,125 @@
+package chaos
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Listener wraps l so every accepted connection injects the plan's network
+// faults (resets, latency spikes, partial writes) into Read and Write.
+// Wrap an httptest server's listener with it to attack the server side of
+// the wire.
+func (f *Faults) Listener(l net.Listener) net.Listener {
+	return &listener{Listener: l, f: f}
+}
+
+type listener struct {
+	net.Listener
+	f *Faults
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &conn{Conn: c, f: l.f}, nil
+}
+
+// conn is one fault-injecting connection.
+type conn struct {
+	net.Conn
+	f *Faults
+}
+
+func (c *conn) Read(b []byte) (int, error) {
+	if c.f.hit("net_latency", c.f.cfg.LatencyProb) {
+		time.Sleep(c.f.latency())
+	}
+	if c.f.hit("net_reset_read", c.f.cfg.ResetProb) {
+		c.Conn.Close()
+		return 0, injected("connection reset (read)")
+	}
+	return c.Conn.Read(b)
+}
+
+func (c *conn) Write(b []byte) (int, error) {
+	if c.f.hit("net_latency", c.f.cfg.LatencyProb) {
+		time.Sleep(c.f.latency())
+	}
+	if c.f.hit("net_reset_write", c.f.cfg.ResetProb) {
+		c.Conn.Close()
+		return 0, injected("connection reset (write)")
+	}
+	if c.f.hit("net_partial_write", c.f.cfg.PartialWriteProb) {
+		n, _ := c.Conn.Write(b[:c.f.part(len(b))])
+		c.Conn.Close()
+		return n, injected("partial write")
+	}
+	return c.Conn.Write(b)
+}
+
+// RoundTripper wraps base (http.DefaultTransport when nil) so requests
+// suffer pre-dial refusals, latency spikes and mid-body response cuts —
+// the client side of a flaky network. Transports are expected to be reused;
+// the returned value is safe for concurrent use iff base is.
+func (f *Faults) RoundTripper(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &roundTripper{base: base, f: f}
+}
+
+type roundTripper struct {
+	base http.RoundTripper
+	f    *Faults
+}
+
+func (rt *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	if rt.f.hit("http_refused", rt.f.cfg.RefuseProb) {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, injected("connection refused")
+	}
+	if rt.f.hit("http_latency", rt.f.cfg.LatencyProb) {
+		time.Sleep(rt.f.latency())
+	}
+	resp, err := rt.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if rt.f.hit("http_cut_body", rt.f.cfg.CutBodyProb) {
+		resp.Body = &cutBody{rc: resp.Body, left: rt.f.part(64)}
+	}
+	return resp, nil
+}
+
+// cutBody yields at most left bytes of the response, then fails the read —
+// a response cut mid-body.
+type cutBody struct {
+	rc   io.ReadCloser
+	left int
+}
+
+func (c *cutBody) Read(b []byte) (int, error) {
+	if c.left <= 0 {
+		return 0, injected("response body cut")
+	}
+	if len(b) > c.left {
+		b = b[:c.left]
+	}
+	n, err := c.rc.Read(b)
+	c.left -= n
+	if err == io.EOF {
+		return n, err
+	}
+	if c.left <= 0 {
+		return n, injected("response body cut")
+	}
+	return n, err
+}
+
+func (c *cutBody) Close() error { return c.rc.Close() }

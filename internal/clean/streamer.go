@@ -51,6 +51,18 @@ func NewStreamer(cfg Config) *Streamer {
 // are counted in neither Output nor the removal classes yet.
 func (s *Streamer) Stats() Stats { return s.stats }
 
+// PendingFor returns how many of taxi id's records are currently held
+// undecided. Live ingestion consults it before deduplicating a re-sent
+// record: an exact duplicate is a state signal to the cleaner (it resolves
+// a held PAYMENT-FREE tail) whenever records are pending, so only
+// pending-free taxis may be deduplicated upstream.
+func (s *Streamer) PendingFor(id string) int {
+	if t := s.tails[id]; t != nil {
+		return len(t.pend)
+	}
+	return 0
+}
+
 // Pending returns the number of records currently held undecided.
 func (s *Streamer) Pending() int {
 	n := 0

@@ -1,0 +1,316 @@
+// Package feedclient is the resilient replay client for a live queued
+// /ingest endpoint — the piece that makes the paper's GPRS reality
+// survivable end to end. A mobile data terminal feed drops connections,
+// times out and meets a restarting server; the client's contract is that
+// none of that loses or duplicates a record: every request carries a
+// per-request timeout, failures retry with capped exponential backoff and
+// seeded jitter, 429 backpressure advances by the server's processed
+// cursor, and a request whose fate is unknown (transport error after the
+// body may have been applied) is simply re-sent — the ingest service's
+// ordering rule and dedup window make re-sends idempotent.
+package feedclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"taxiqueue/internal/ingest"
+	"taxiqueue/internal/mdt"
+)
+
+// Config parameterizes a Client.
+type Config struct {
+	// URL is the /ingest endpoint. Required.
+	URL string
+	// BatchSize is the records per POST; 500 when 0.
+	BatchSize int
+	// Encoding is the wire encoding: "binary" (default) or "json".
+	Encoding string
+	// Rate paces the stream to this many records/sec; 0 streams unpaced.
+	Rate float64
+	// RequestTimeout bounds one POST (dial to full response); 10s when 0.
+	// Without it a half-dead connection stalls the whole feed.
+	RequestTimeout time.Duration
+	// BaseBackoff is the first retry delay; 100ms when 0.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth; 5s when 0.
+	MaxBackoff time.Duration
+	// MaxAttempts is the consecutive failed attempts on one batch before
+	// Stream gives up; 8 when 0.
+	MaxAttempts int
+	// Seed fixes the backoff jitter sequence (reproducible tests).
+	Seed int64
+	// HTTPClient overrides the HTTP client (its Timeout is ignored in
+	// favor of RequestTimeout). Tests plug a chaos.RoundTripper in here.
+	HTTPClient *http.Client
+	// Logf, when set, receives retry/backpressure progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize == 0 {
+		c.BatchSize = 500
+	}
+	if c.Encoding == "" {
+		c.Encoding = "binary"
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.BaseBackoff == 0 {
+		c.BaseBackoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff == 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 8
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+	return c
+}
+
+// Report summarizes one Stream call.
+type Report struct {
+	Sent         int // records the server consumed
+	Retries      int // re-sends after transport errors or 5xx
+	Backpressure int // 429 rounds (server took a prefix)
+}
+
+// Client replays record feeds against one /ingest endpoint. A Client is
+// not safe for concurrent Stream calls.
+type Client struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// New validates cfg and returns a client.
+func New(cfg Config) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if cfg.URL == "" {
+		return nil, errors.New("feedclient: URL required")
+	}
+	if cfg.Encoding != "binary" && cfg.Encoding != "json" {
+		return nil, fmt.Errorf("feedclient: unknown encoding %q (want binary or json)", cfg.Encoding)
+	}
+	return &Client{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// reply is the subset of the /ingest response the client steers by.
+type reply struct {
+	Accepted  int    `json:"accepted"`
+	Processed int    `json:"processed"`
+	Error     string `json:"error"`
+}
+
+// Stream replays recs (already in timestamp order) until every record is
+// consumed, the context is canceled, a batch exhausts MaxAttempts, or the
+// server answers a fatal 4xx. The returned Report counts what happened
+// either way; on error, Report.Sent is the safe resume cursor.
+func (c *Client) Stream(ctx context.Context, recs []mdt.Record) (Report, error) {
+	var rep Report
+	start := time.Now()
+	attempts := 0
+	for rep.Sent < len(recs) {
+		if c.cfg.Rate > 0 {
+			due := start.Add(time.Duration(float64(rep.Sent) / c.cfg.Rate * float64(time.Second)))
+			if err := sleepCtx(ctx, time.Until(due)); err != nil {
+				return rep, err
+			}
+		}
+		n := c.cfg.BatchSize
+		if n > len(recs)-rep.Sent {
+			n = len(recs) - rep.Sent
+		}
+		status, r, err := c.post(ctx, recs[rep.Sent:rep.Sent+n])
+		switch {
+		case err != nil && ctx.Err() != nil:
+			return rep, ctx.Err()
+		case err != nil || status >= 500:
+			// Transport failure, timeout, or a restarting server. The
+			// batch's fate is unknown — it may have been applied — so
+			// re-send the same cursor after backoff; the server's dedup
+			// window absorbs the overlap.
+			attempts++
+			if attempts >= c.cfg.MaxAttempts {
+				if err == nil {
+					err = fmt.Errorf("feedclient: status %d: %s", status, r.Error)
+				}
+				return rep, fmt.Errorf("feedclient: batch at %d failed %d attempts: %w", rep.Sent, attempts, err)
+			}
+			d := c.backoff(attempts)
+			c.logf("feedclient: batch at %d: %v (status %d); retry %d in %v",
+				rep.Sent, err, status, attempts, d)
+			rep.Retries++
+			if err := sleepCtx(ctx, d); err != nil {
+				return rep, err
+			}
+		case status == http.StatusOK:
+			rep.Sent += c.advance(r, n)
+			attempts = 0
+		case status == http.StatusTooManyRequests:
+			// Backpressure: the server consumed a prefix. Advance past it
+			// and retry the remainder after a short pause.
+			rep.Sent += c.advance(r, n)
+			rep.Backpressure++
+			attempts = 0
+			if err := sleepCtx(ctx, c.cfg.BaseBackoff); err != nil {
+				return rep, err
+			}
+		default:
+			// 4xx: the request itself is wrong (bad encoding, oversized
+			// batch). Retrying cannot help.
+			return rep, fmt.Errorf("feedclient: fatal status %d at record %d: %s", status, rep.Sent, r.Error)
+		}
+	}
+	return rep, nil
+}
+
+// advance converts a server reply into a cursor delta. Processed counts
+// the units the server consumed — lines for JSON (1:1 with the records we
+// sent), records for binary — clamped to the batch size as a guard against
+// a misbehaving server ever pushing the cursor past the batch.
+func (c *Client) advance(r reply, batch int) int {
+	n := r.Processed
+	if n > batch {
+		n = batch
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// post sends one batch with the per-request timeout and decodes the reply.
+func (c *Client) post(ctx context.Context, recs []mdt.Record) (int, reply, error) {
+	var body bytes.Buffer
+	ct := ingest.ContentTypeJSONLines
+	if c.cfg.Encoding == "binary" {
+		ct = ingest.ContentTypeBinary
+		body.Write(ingest.EncodeBinary(nil, recs))
+	} else if err := ingest.EncodeJSONLines(&body, recs); err != nil {
+		return 0, reply{}, err
+	}
+	rctx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, c.cfg.URL, &body)
+	if err != nil {
+		return 0, reply{}, err
+	}
+	req.Header.Set("Content-Type", ct)
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return 0, reply{}, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		// The response was cut mid-body: we cannot trust a partial
+		// cursor, so treat it as a transport error and re-send.
+		return 0, reply{}, err
+	}
+	var r reply
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return 0, reply{}, fmt.Errorf("feedclient: bad /ingest reply (%d): %.200s", resp.StatusCode, raw)
+	}
+	return resp.StatusCode, r, nil
+}
+
+// backoff returns the delay before retry number attempt (1-based):
+// exponential from BaseBackoff, capped at MaxBackoff, with ±50% seeded
+// jitter so restarting clients don't stampede a recovering server.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.cfg.BaseBackoff << (attempt - 1)
+	if d > c.cfg.MaxBackoff || d <= 0 {
+		d = c.cfg.MaxBackoff
+	}
+	half := int64(d / 2)
+	return time.Duration(half + c.rng.Int63n(half+1))
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// sleepCtx sleeps for d unless the context ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Flush POSTs the end-of-feed switch (URL + "/flush") so every slot is
+// finalized; it shares the retry policy, since the flush barrier matters
+// exactly when the server just came back.
+func (c *Client) Flush(ctx context.Context) error {
+	for attempt := 1; ; attempt++ {
+		rctx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
+		req, err := http.NewRequestWithContext(rctx, http.MethodPost, c.cfg.URL+"/flush", nil)
+		if err != nil {
+			cancel()
+			return err
+		}
+		resp, err := c.cfg.HTTPClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				cancel()
+				return nil
+			}
+			err = fmt.Errorf("feedclient: flush status %d", resp.StatusCode)
+		}
+		cancel()
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if attempt >= c.cfg.MaxAttempts {
+			return err
+		}
+		if serr := sleepCtx(ctx, c.backoff(attempt)); serr != nil {
+			return serr
+		}
+	}
+}
+
+// Stats GETs the server's /ingest/stats JSON (URL + "/stats"), raw.
+func (c *Client) Stats(ctx context.Context) ([]byte, error) {
+	rctx, cancel := context.WithTimeout(ctx, c.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, c.cfg.URL+"/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("feedclient: stats status %d", resp.StatusCode)
+	}
+	return raw, nil
+}

@@ -1,0 +1,294 @@
+package feedclient
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"taxiqueue/internal/chaos"
+	"taxiqueue/internal/citymap"
+	"taxiqueue/internal/clean"
+	"taxiqueue/internal/core"
+	"taxiqueue/internal/geo"
+	"taxiqueue/internal/ingest"
+	"taxiqueue/internal/mdt"
+	"taxiqueue/internal/stream"
+)
+
+// testFeed builds n in-order records across a few taxis.
+func testFeed(n int) []mdt.Record {
+	base := time.Date(2026, 1, 5, 6, 0, 0, 0, time.UTC)
+	ids := []string{"SH0001A", "SH0002B", "SH0003C", "SH0004D"}
+	recs := make([]mdt.Record, n)
+	for i := range recs {
+		recs[i] = mdt.Record{
+			Time: base.Add(time.Duration(i) * time.Second), TaxiID: ids[i%len(ids)],
+			Pos: geo.Point{Lat: 1.3, Lon: 103.8}, Speed: 30, State: mdt.Free,
+		}
+	}
+	return recs
+}
+
+// newIngest starts a real ingest service behind an HTTP mux.
+func newIngest(t *testing.T) (*ingest.Service, *httptest.Server) {
+	t.Helper()
+	grid := core.DaySlots(time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC))
+	svc, err := ingest.NewService(ingest.Config{
+		Stream: stream.Config{
+			Spots:      []core.QueueSpot{{Pos: geo.Point{Lat: 1.3, Lon: 103.8}}},
+			Thresholds: []core.Thresholds{{}},
+			Grid:       grid,
+		},
+		Clean:  clean.Config{ValidFrame: citymap.Island},
+		Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", svc.HandleIngest)
+	mux.HandleFunc("/ingest/flush", svc.HandleFlush)
+	mux.HandleFunc("/ingest/stats", svc.HandleStats)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(func() { srv.Close(); svc.Close() })
+	return svc, srv
+}
+
+// TestStreamBothEncodings: a clean round trip consumes every record.
+func TestStreamBothEncodings(t *testing.T) {
+	for _, enc := range []string{"binary", "json"} {
+		t.Run(enc, func(t *testing.T) {
+			svc, srv := newIngest(t)
+			recs := testFeed(2500)
+			cl, err := New(Config{URL: srv.URL + "/ingest", Encoding: enc, BatchSize: 300})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := cl.Stream(context.Background(), recs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Sent != len(recs) || rep.Retries != 0 {
+				t.Fatalf("report %+v, want %d sent, 0 retries", rep, len(recs))
+			}
+			if err := cl.Flush(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			st := svc.Stats()
+			if st.Accepted+st.Rejected != int64(len(recs)) {
+				t.Fatalf("server accounted %d of %d records", st.Accepted+st.Rejected, len(recs))
+			}
+			if raw, err := cl.Stats(context.Background()); err != nil || !strings.Contains(string(raw), `"accepted"`) {
+				t.Fatalf("stats: %v, %.80s", err, raw)
+			}
+		})
+	}
+}
+
+// TestResumeAcrossDroppedConnections is the resilience core: a chaos
+// transport refuses connections and cuts response bodies (so the client
+// cannot know whether those batches were applied), yet the stream
+// completes and the server ends with exactly the clean-run record set —
+// re-sent overlap absorbed by the server's dedup window, nothing lost.
+func TestResumeAcrossDroppedConnections(t *testing.T) {
+	recs := testFeed(4000)
+
+	clean1, srv1 := newIngest(t)
+	cl, err := New(Config{URL: srv1.URL + "/ingest", BatchSize: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Stream(context.Background(), recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := clean1.Stats()
+
+	svc, srv := newIngest(t)
+	f := chaos.New(chaos.Config{Seed: 99, RefuseProb: 0.15, CutBodyProb: 0.15})
+	cl2, err := New(Config{
+		URL: srv.URL + "/ingest", BatchSize: 250,
+		BaseBackoff: time.Millisecond, MaxBackoff: 20 * time.Millisecond,
+		MaxAttempts: 50, Seed: 7,
+		HTTPClient: &http.Client{Transport: f.RoundTripper(nil)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cl2.Stream(context.Background(), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != len(recs) {
+		t.Fatalf("sent %d of %d", rep.Sent, len(recs))
+	}
+	if rep.Retries == 0 || f.Total() == 0 {
+		t.Fatalf("chaos run saw no faults (retries %d, injected %d)", rep.Retries, f.Total())
+	}
+	f.SetEnabled(false)
+	if err := cl2.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.Accepted != want.Accepted {
+		t.Fatalf("chaos run accepted %d records, clean run %d", st.Accepted, want.Accepted)
+	}
+	var deduped int64
+	for _, sh := range st.Shards {
+		deduped += sh.Deduped
+	}
+	if deduped == 0 {
+		t.Fatal("no re-sent batch was ever absorbed — the cut-body path was not exercised")
+	}
+}
+
+// TestRetriesThroughServerErrors: a server that 503s for a while (e.g.
+// restarting) is retried with backoff until it recovers.
+func TestRetriesThroughServerErrors(t *testing.T) {
+	var calls atomic.Int64
+	svc, srv := newIngest(t)
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"restarting"}`))
+			return
+		}
+		svc.HandleIngest(w, r)
+	}))
+	defer flaky.Close()
+	_ = srv
+
+	cl, err := New(Config{
+		URL: flaky.URL, BatchSize: 100,
+		BaseBackoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cl.Stream(context.Background(), testFeed(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != 300 || rep.Retries != 3 {
+		t.Fatalf("report %+v, want 300 sent after 3 retries", rep)
+	}
+}
+
+// TestFatal4xxStopsImmediately: a 4xx means the request itself is wrong;
+// retrying cannot help and must not happen.
+func TestFatal4xxStopsImmediately(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusRequestEntityTooLarge)
+		w.Write([]byte(`{"error":"body too large"}`))
+	}))
+	defer srv.Close()
+	cl, err := New(Config{URL: srv.URL, BaseBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cl.Stream(context.Background(), testFeed(100))
+	if err == nil || !strings.Contains(err.Error(), "413") {
+		t.Fatalf("err %v, want fatal 413", err)
+	}
+	if calls.Load() != 1 || rep.Retries != 0 {
+		t.Fatalf("%d calls, %d retries — a fatal status was retried", calls.Load(), rep.Retries)
+	}
+}
+
+// TestBackpressureAdvancesByProcessed is the cursor regression at the
+// client: on 429 the resume point is the server's processed cursor, not
+// the decoded-record count. The fake server consumes a prefix and reports
+// processed; the next batch must start exactly one past it.
+func TestBackpressureAdvancesByProcessed(t *testing.T) {
+	recs := testFeed(200)
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		call := calls.Add(1)
+		if call == 1 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]any{"accepted": 37, "processed": 37, "error": "backpressure"})
+			return
+		}
+		// Decode what the client re-sent and check the resume point.
+		recsGot, _, _, _, err := ingestDecodeForTest(r)
+		if err != nil {
+			t.Errorf("decode retry body: %v", err)
+		}
+		if call == 2 && (len(recsGot) == 0 || !recsGot[0].Equal(recs[37])) {
+			t.Errorf("retry resumed at wrong record (got %d records, first %+v)", len(recsGot), recsGot[0])
+		}
+		json.NewEncoder(w).Encode(map[string]any{"accepted": len(recsGot), "processed": len(recsGot)})
+	}))
+	defer srv.Close()
+	cl, err := New(Config{URL: srv.URL, BatchSize: 100, BaseBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cl.Stream(context.Background(), recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Backpressure != 1 || rep.Sent != 200 {
+		t.Fatalf("report %+v, want 1 backpressure round, 200 sent", rep)
+	}
+}
+
+// ingestDecodeForTest decodes a binary /ingest body like the server does.
+func ingestDecodeForTest(r *http.Request) ([]mdt.Record, int, int, int, error) {
+	var recs []mdt.Record
+	buf := make([]byte, 0, 1<<16)
+	tmp := make([]byte, 4096)
+	for {
+		n, err := r.Body.Read(tmp)
+		buf = append(buf, tmp[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	for len(buf) > 0 {
+		rec, n, err := mdt.DecodeBinary(buf)
+		if err != nil {
+			return recs, 0, 0, 0, err
+		}
+		recs = append(recs, rec)
+		buf = buf[n:]
+	}
+	return recs, 0, 0, 0, nil
+}
+
+// TestBackoffCappedAndSeeded: the delay grows exponentially, never
+// exceeds MaxBackoff, never goes below half the nominal delay, and is
+// reproducible for a fixed seed.
+func TestBackoffCappedAndSeeded(t *testing.T) {
+	mk := func() *Client {
+		c, err := New(Config{URL: "http://x/ingest", Seed: 5,
+			BaseBackoff: 100 * time.Millisecond, MaxBackoff: 2 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := mk(), mk()
+	for attempt := 1; attempt <= 12; attempt++ {
+		da, db := a.backoff(attempt), b.backoff(attempt)
+		if da != db {
+			t.Fatalf("attempt %d: same seed gave %v vs %v", attempt, da, db)
+		}
+		nominal := 100 * time.Millisecond << (attempt - 1)
+		if nominal > 2*time.Second || nominal <= 0 {
+			nominal = 2 * time.Second
+		}
+		if da > nominal || da < nominal/2 {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, da, nominal/2, nominal)
+		}
+	}
+}

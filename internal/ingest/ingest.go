@@ -42,6 +42,7 @@ package ingest
 import (
 	"errors"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
@@ -52,6 +53,7 @@ import (
 	"taxiqueue/internal/core"
 	"taxiqueue/internal/mdt"
 	"taxiqueue/internal/obs"
+	"taxiqueue/internal/store"
 	"taxiqueue/internal/stream"
 )
 
@@ -111,6 +113,9 @@ type Config struct {
 	// CheckpointEvery is the number of logged records between automatic
 	// WAL checkpoints; 4096 when 0.
 	CheckpointEvery int
+	// FS is the filesystem the WAL checkpoints go through; the real
+	// filesystem when nil. The chaos harness injects disk faults here.
+	FS store.FS
 	// Metrics is the registry the service's collectors live in; a private
 	// registry when nil. Hand it obs.Default (as queued does) to surface
 	// the series on a process-wide /metrics endpoint.
@@ -141,6 +146,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Metrics == nil {
 		c.Metrics = obs.NewRegistry()
+	}
+	if c.FS == nil {
+		c.FS = store.OS
 	}
 	return c
 }
@@ -195,6 +203,14 @@ func NewService(cfg Config) (*Service, error) {
 	if cfg.WALDir != "" {
 		if err := os.MkdirAll(cfg.WALDir, 0o755); err != nil {
 			return nil, fmt.Errorf("ingest: wal dir: %w", err)
+		}
+		// A crash between a checkpoint's temp-write and its rename leaves a
+		// stale temp file; the committed copies are unaffected. Sweep them
+		// so they never accumulate or get mistaken for checkpoints.
+		if removed, err := store.RemoveTemps(cfg.WALDir); err != nil {
+			return nil, fmt.Errorf("ingest: wal temp sweep: %w", err)
+		} else if len(removed) > 0 {
+			log.Printf("ingest: swept %d stale checkpoint temp file(s) from %s", len(removed), cfg.WALDir)
 		}
 	}
 	s.shards = make([]*shard, cfg.Shards)
@@ -404,14 +420,17 @@ func (s *Service) Label(spot, slot int) (core.QueueType, bool) {
 // ShardStats is one shard's counters.
 type ShardStats struct {
 	Shard       int   `json:"shard"`
-	Accepted    int64 `json:"accepted"`     // survived cleaning, in the engine
-	Rejected    int64 `json:"rejected"`     // removed by validation/cleaning/ordering
-	Dropped     int64 `json:"dropped"`      // discarded by DropOldest backpressure
-	Replayed    int64 `json:"replayed"`     // raw WAL records replayed at startup
-	QueueDepth  int   `json:"queue_depth"`  // records waiting right now
-	ClosedBelow int   `json:"closed_below"` // this shard's slot finality watermark
-	WALPending  int64 `json:"wal_pending"`  // records logged since the last checkpoint (what a crash would lose)
+	Accepted    int64 `json:"accepted"`       // survived cleaning, in the engine
+	Rejected    int64 `json:"rejected"`       // removed by validation/cleaning/ordering
+	Dropped     int64 `json:"dropped"`        // discarded by DropOldest backpressure
+	Replayed    int64 `json:"replayed"`       // raw WAL records replayed at startup
+	Deduped     int64 `json:"resend_deduped"` // re-sent records dropped pre-WAL
+	QueueDepth  int   `json:"queue_depth"`    // records waiting right now
+	ClosedBelow int   `json:"closed_below"`   // this shard's slot finality watermark
+	WALPending  int64 `json:"wal_pending"`    // records logged since the last checkpoint (what a crash would lose)
 	Checkpoints int64 `json:"checkpoints"`
+	CkptErrors  int64 `json:"checkpoint_errors"` // checkpoint saves that failed
+	Truncations int64 `json:"wal_truncations"`   // startups that cut a torn WAL tail
 }
 
 // Stats is the /ingest/stats payload.
@@ -443,10 +462,13 @@ func (s *Service) Stats() Stats {
 			Rejected:    sm.rejected.Value(),
 			Dropped:     sm.dropped.Value(),
 			Replayed:    sm.replayed.Value(),
+			Deduped:     sm.deduped.Value(),
 			QueueDepth:  len(sh.ch),
 			ClosedBelow: int(sm.watermark.Value()),
 			WALPending:  sm.walPending.Value(),
 			Checkpoints: sm.checkpoints.Value(),
+			CkptErrors:  sm.ckptErrors.Value(),
+			Truncations: sm.walTruncations.Value(),
 		}
 		out.Shards[i] = st
 		out.Accepted += st.Accepted
@@ -457,7 +479,8 @@ func (s *Service) Stats() Stats {
 	return out
 }
 
-// walPath names shard i's checkpoint file.
-func walPath(dir string, i int) string {
+// WALPath names shard i's checkpoint file under dir — exported so tools
+// and the chaos harness can aim at a specific shard's log.
+func WALPath(dir string, i int) string {
 	return filepath.Join(dir, fmt.Sprintf("shard-%03d.tqs", i))
 }

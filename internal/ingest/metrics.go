@@ -36,15 +36,18 @@ type metrics struct {
 
 // shardMetrics is one shard's per-series collectors (label shard="i").
 type shardMetrics struct {
-	accepted    *obs.Counter
-	rejected    *obs.Counter
-	dropped     *obs.Counter
-	replayed    *obs.Counter
-	checkpoints *obs.Counter
-	walPending  *obs.Gauge
-	watermark   *obs.Gauge
-	openSlots   *obs.Gauge
-	taxis       *obs.Gauge
+	accepted       *obs.Counter
+	rejected       *obs.Counter
+	dropped        *obs.Counter
+	replayed       *obs.Counter
+	deduped        *obs.Counter
+	checkpoints    *obs.Counter
+	ckptErrors     *obs.Counter
+	walTruncations *obs.Counter
+	walPending     *obs.Gauge
+	watermark      *obs.Gauge
+	openSlots      *obs.Gauge
+	taxis          *obs.Gauge
 }
 
 // newMetrics registers every ingest series in reg. Registration is
@@ -69,7 +72,8 @@ func newMetrics(reg *obs.Registry, shards int) *metrics {
 		httpReqs: make(map[int]*obs.Counter),
 	}
 	for _, code := range []int{http.StatusOK, http.StatusBadRequest, http.StatusMethodNotAllowed,
-		http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusInternalServerError} {
+		http.StatusRequestEntityTooLarge, http.StatusTooManyRequests,
+		http.StatusServiceUnavailable, http.StatusInternalServerError} {
 		m.httpReqs[code] = reg.Counter("ingest_http_requests_total",
 			"/ingest requests by response code.", obs.Label{Name: "code", Value: strconv.Itoa(code)})
 	}
@@ -77,15 +81,18 @@ func newMetrics(reg *obs.Registry, shards int) *metrics {
 	for i := range m.shards {
 		l := obs.Label{Name: "shard", Value: strconv.Itoa(i)}
 		m.shards[i] = shardMetrics{
-			accepted:    reg.Counter("ingest_accepted_total", "Records that survived cleaning and entered the engine.", l),
-			rejected:    reg.Counter("ingest_rejected_total", "Records removed by validation, cleaning or the ordering rule.", l),
-			dropped:     reg.Counter("ingest_dropped_total", "Records discarded by DropOldest backpressure.", l),
-			replayed:    reg.Counter("ingest_replayed_total", "Raw WAL records replayed at startup.", l),
-			checkpoints: reg.Counter("ingest_checkpoints_total", "Completed atomic WAL checkpoints.", l),
-			walPending:  reg.Gauge("ingest_wal_pending", "Records logged since the last checkpoint (what a crash would lose).", l),
-			watermark:   reg.Gauge("ingest_watermark_slot", "Shard finality watermark: slots below are final here.", l),
-			openSlots:   reg.Gauge("ingest_engine_open_slots", "Engine accumulator cells still open in this shard.", l),
-			taxis:       reg.Gauge("ingest_engine_taxis", "Distinct taxis this shard's engine is tracking.", l),
+			accepted:       reg.Counter("ingest_accepted_total", "Records that survived cleaning and entered the engine.", l),
+			rejected:       reg.Counter("ingest_rejected_total", "Records removed by validation, cleaning or the ordering rule.", l),
+			dropped:        reg.Counter("ingest_dropped_total", "Records discarded by DropOldest backpressure.", l),
+			replayed:       reg.Counter("ingest_replayed_total", "Raw WAL records replayed at startup.", l),
+			deduped:        reg.Counter("ingest_resend_dedup_total", "Re-sent records dropped by the pre-WAL dedup window.", l),
+			checkpoints:    reg.Counter("ingest_checkpoints_total", "Completed atomic WAL checkpoints.", l),
+			ckptErrors:     reg.Counter("ingest_checkpoint_errors_total", "WAL checkpoint saves that failed (retried after the next CheckpointEvery records).", l),
+			walTruncations: reg.Counter("ingest_wal_truncations_total", "Startups that truncated a torn WAL tail instead of replaying it.", l),
+			walPending:     reg.Gauge("ingest_wal_pending", "Records logged since the last checkpoint (what a crash would lose).", l),
+			watermark:      reg.Gauge("ingest_watermark_slot", "Shard finality watermark: slots below are final here.", l),
+			openSlots:      reg.Gauge("ingest_engine_open_slots", "Engine accumulator cells still open in this shard.", l),
+			taxis:          reg.Gauge("ingest_engine_taxis", "Distinct taxis this shard's engine is tracking.", l),
 		}
 	}
 	return m

@@ -7,6 +7,17 @@ import (
 	"taxiqueue/internal/mdt"
 )
 
+// preWALRejected counts the records a service refused before its WAL saw
+// them: out-of-order arrivals plus re-send dedup-window hits. Everything
+// else the service was fed is in the log.
+func preWALRejected(svc *Service) int64 {
+	n := svc.met.removedOOO.Value()
+	for _, sh := range svc.Stats().Shards {
+		n += sh.Deduped
+	}
+	return n
+}
+
 // TestCrashRecoveryByteIdentical: checkpoint, kill after K records,
 // restart (WAL replay), finish the feed — every final slot context must be
 // byte-identical to an uninterrupted run. Because the WAL logs raw records
@@ -41,6 +52,7 @@ func TestCrashRecoveryByteIdentical(t *testing.T) {
 	if err := svc.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
+	logged := int64(k) - preWALRejected(svc) // what the WAL holds
 	svc.Abort()
 
 	// Restart: recovery must replay every checkpointed raw record.
@@ -49,8 +61,8 @@ func TestCrashRecoveryByteIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer svc2.Close()
-	if got := svc2.Stats().Replayed; got != int64(k) {
-		t.Fatalf("replayed %d, checkpointed %d raw records", got, k)
+	if got := svc2.Stats().Replayed; got != logged {
+		t.Fatalf("replayed %d, checkpointed %d raw records", got, logged)
 	}
 	feed(t, svc2, d.raw[k:])
 	if err := svc2.Flush(); err != nil {
@@ -82,6 +94,8 @@ func TestRecoveryLosesOnlyPostCheckpointRecords(t *testing.T) {
 	if err := svc.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
+	logged := int64(k) - preWALRejected(svc) // what the checkpoint holds
+	rej0 := preWALRejected(svc)
 	// Keep feeding past the checkpoint, then crash.
 	feed(t, svc, d.raw[k:k+2000])
 	// Barrier: a FlushUntil at the grid start closes nothing but only
@@ -93,8 +107,8 @@ func TestRecoveryLosesOnlyPostCheckpointRecords(t *testing.T) {
 	for _, sh := range svc.Stats().Shards {
 		pending += sh.WALPending
 	}
-	if pending != 2000 {
-		t.Fatalf("wal_pending %d, want the 2000 records logged since checkpoint", pending)
+	if want := 2000 - (preWALRejected(svc) - rej0); pending != want {
+		t.Fatalf("wal_pending %d, want the %d records logged since checkpoint", pending, want)
 	}
 	svc.Abort()
 
@@ -103,8 +117,8 @@ func TestRecoveryLosesOnlyPostCheckpointRecords(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer svc2.Close()
-	if got := svc2.Stats().Replayed; got != int64(k) {
-		t.Fatalf("replayed %d, want the %d checkpointed records", got, k)
+	if got := svc2.Stats().Replayed; got != logged {
+		t.Fatalf("replayed %d, want the %d checkpointed records", got, logged)
 	}
 }
 
@@ -165,7 +179,7 @@ func TestDurabilityModesAgreeOnOutOfOrderFeed(t *testing.T) {
 		t.Fatalf("durable accepted/rejected %d/%d, non-durable %d/%d",
 			dst.Accepted, dst.Rejected, pst.Accepted, pst.Rejected)
 	}
-	logged := int64(len(ooo)) - dur.met.removedOOO.Value()
+	logged := int64(len(ooo)) - preWALRejected(dur)
 	if err := dur.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -185,20 +199,23 @@ func TestDurabilityModesAgreeOnOutOfOrderFeed(t *testing.T) {
 	}
 }
 
-// TestRecoveryRejectsCorruptWAL: a torn WAL file fails startup loudly
-// (naming the file) instead of serving from silently bad state.
-func TestRecoveryRejectsCorruptWAL(t *testing.T) {
+// TestRecoveryTruncatesTornWAL: a WAL with a torn tail (a crash mid-write,
+// or a lying disk) no longer fails startup — the service resumes from the
+// longest clean prefix, counts and reports the truncation, and immediately
+// rewrites the file clean so the damage is not rediscovered forever.
+func TestRecoveryTruncatesTornWAL(t *testing.T) {
 	d := getDay(t)
 	dir := t.TempDir()
 	cfg := d.serviceConfig()
 	cfg.Shards = 2
 	cfg.WALDir = dir
 	svc := runService(t, cfg, d.raw[:5000])
+	logged := int64(5000) - preWALRejected(svc)
 	if err := svc.Close(); err != nil {
 		t.Fatal(err)
 	}
 	// Truncate shard 0's file mid-payload.
-	path := walPath(dir, 0)
+	path := WALPath(dir, 0)
 	b, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -206,7 +223,152 @@ func TestRecoveryRejectsCorruptWAL(t *testing.T) {
 	if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewService(cfg); err == nil {
-		t.Fatal("service started over a corrupt WAL")
+	svc2, err := NewService(cfg)
+	if err != nil {
+		t.Fatalf("restart over torn WAL: %v", err)
 	}
+	st := svc2.Stats()
+	var truncs int64
+	for _, sh := range st.Shards {
+		truncs += sh.Truncations
+	}
+	if truncs != 1 {
+		t.Fatalf("wal_truncations %d, want 1", truncs)
+	}
+	if st.Replayed <= 0 || st.Replayed >= logged {
+		t.Fatalf("replayed %d records over a half-truncated WAL, logged %d", st.Replayed, logged)
+	}
+	replayed := st.Replayed
+	if err := svc2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The damaged file was rewritten clean at startup: a second restart
+	// replays the same prefix with no further truncation.
+	svc3, err := NewService(cfg)
+	if err != nil {
+		t.Fatalf("restart over rewritten WAL: %v", err)
+	}
+	defer svc3.Close()
+	st3 := svc3.Stats()
+	for _, sh := range st3.Shards {
+		if sh.Truncations != 0 {
+			t.Fatalf("shard %d re-truncated an already-rewritten WAL", sh.Shard)
+		}
+	}
+	if st3.Replayed != replayed {
+		t.Fatalf("second restart replayed %d, first replayed %d", st3.Replayed, replayed)
+	}
+}
+
+// TestRecoveryRejectsHopelessWAL: tolerance has a floor — a file too
+// damaged to even carry the format header still fails startup loudly
+// instead of silently starting empty over data that may exist elsewhere.
+func TestRecoveryRejectsHopelessWAL(t *testing.T) {
+	d := getDay(t)
+	dir := t.TempDir()
+	cfg := d.serviceConfig()
+	cfg.Shards = 2
+	cfg.WALDir = dir
+	svc := runService(t, cfg, d.raw[:2000])
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(WALPath(dir, 0), []byte("not"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewService(cfg); err == nil {
+		t.Fatal("service started over a WAL with a destroyed header")
+	}
+}
+
+// TestResendIdempotent: a resilient client that cannot know whether a
+// failed request was applied re-sends it. Re-feeding an already-absorbed
+// window must change nothing: the ordering rule rejects records behind the
+// per-taxi tail second and the dedup window absorbs byte-identical records
+// at it, so the served contexts stay byte-identical to a single clean run.
+func TestResendIdempotent(t *testing.T) {
+	d := getDay(t)
+	cfg := d.serviceConfig()
+	cfg.Shards = 4
+
+	ref := runService(t, cfg, d.raw)
+	defer ref.Close()
+	wantL, wantF := snapshot(t, ref, d)
+	wantAccepted := ref.Stats().Accepted
+
+	k := 2 * len(d.raw) / 3
+	j := k - 5000 // the window the client "lost the ack for"
+	svc, err := NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	feed(t, svc, d.raw[:k])
+	feed(t, svc, d.raw[j:k]) // duplicate re-send of the last window
+	feed(t, svc, d.raw[k:])
+	if err := svc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	gotL, gotF := snapshot(t, svc, d)
+	sameContexts(t, "after re-send", gotL, gotF, wantL, wantF)
+	st := svc.Stats()
+	if st.Accepted != wantAccepted {
+		t.Fatalf("accepted %d after re-send, clean run accepted %d", st.Accepted, wantAccepted)
+	}
+	var deduped int64
+	for _, sh := range st.Shards {
+		deduped += sh.Deduped
+	}
+	if deduped == 0 {
+		t.Fatal("re-sent window hit the dedup window zero times")
+	}
+}
+
+// TestCrashRestartResendByteIdentical is the full client-facing recovery
+// contract: checkpoint, keep feeding, crash (losing the post-checkpoint
+// records), restart, and have the client re-send everything from the start
+// of its day — the recovered service absorbs the overlap, regains the lost
+// records, finishes the feed and serves contexts byte-identical to an
+// uninterrupted run.
+func TestCrashRestartResendByteIdentical(t *testing.T) {
+	d := getDay(t)
+	base := d.serviceConfig()
+	base.Shards = 4
+	base.CheckpointEvery = 1 << 30
+
+	refCfg := base
+	refCfg.WALDir = t.TempDir()
+	ref := runService(t, refCfg, d.raw)
+	wantL, wantF := snapshot(t, ref, d)
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	k1 := len(d.raw) / 3 // checkpointed
+	k2 := len(d.raw) / 2 // fed but lost in the crash
+	cfg := base
+	cfg.WALDir = t.TempDir()
+	svc, err := NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, svc, d.raw[:k1])
+	if err := svc.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	feed(t, svc, d.raw[k1:k2])
+	svc.Abort() // records k1:k2 are gone
+
+	svc2, err := NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	feed(t, svc2, d.raw[:k2]) // client re-sends its whole day so far
+	feed(t, svc2, d.raw[k2:])
+	if err := svc2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	gotL, gotF := snapshot(t, svc2, d)
+	sameContexts(t, "crash+restart+re-send", gotL, gotF, wantL, wantF)
 }

@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"fmt"
+	"log"
 	"os"
 	"time"
 
@@ -58,45 +59,94 @@ type shard struct {
 	wal     *store.Store // nil when durability is off
 	walPath string
 
-	// lastT enforces the per-taxi time-order rule uniformly: it applies
+	// tails enforces the per-taxi time-order rule uniformly: it applies
 	// before the WAL *and* when durability is off, so both modes reject the
 	// same records and serve identical labels from identical input. The
 	// granularity is whole seconds — exactly the store's Append invariant,
 	// so sub-second jitter (e.g. the RFC3339 JSON wire truncation) passes.
-	lastT map[string]int64 // last accepted Unix second per taxi
+	//
+	// Each tail also keeps every ordering-accepted record of the taxi's
+	// newest second — the dedup window that makes re-sent feeds exactly
+	// idempotent. A resilient client that cannot know whether a failed
+	// request was applied re-sends it; records strictly before the tail
+	// second are rejected as out-of-order, and records *at* the tail second
+	// that byte-match an already-accepted one are rejected as duplicates
+	// (whole-second ordering alone would re-accept a re-sent record that
+	// shares its second with, but differs from, the newest survivor). The
+	// one exception: while the cleaner holds this taxi's records pending,
+	// an exact duplicate PAYMENT is a §6.1.1 state signal (it resolves a
+	// PAYMENT-FREE tail as the improper-state pattern) and must pass
+	// through to the cleaner, which deduplicates it itself after acting on
+	// it.
+	tails map[string]*taxiTail
 
 	met       *metrics
 	sm        *shardMetrics
 	sinceStat int // records since the engine gauges were refreshed
 
+	nextCkpt int64 // wal_pending level that triggers the next auto checkpoint
+
 	done chan struct{}
 }
 
-// newShard builds shard i, replaying its WAL file if one exists.
+// taxiTail is one taxi's ordering state: its newest accepted Unix second
+// and every record accepted at that second (the re-send dedup window).
+type taxiTail struct {
+	sec  int64
+	recs []mdt.Record
+}
+
+// contains reports whether an identical record was already accepted in the
+// tail second. The window holds one record per report interval in the
+// common case, so the linear scan is effectively free.
+func (t *taxiTail) contains(r mdt.Record) bool {
+	for i := range t.recs {
+		if t.recs[i].Equal(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// newShard builds shard i, replaying its WAL file if one exists. A damaged
+// WAL — a torn tail from a crash mid-write, or a lying disk — recovers the
+// longest clean prefix instead of failing startup: the service resumes from
+// the last durable byte, the truncation is counted and logged, and the file
+// is immediately rewritten clean.
 func newShard(s *Service, i int) (*shard, error) {
 	sh := &shard{
-		id:      i,
-		svc:     s,
-		ch:      make(chan queuedRec, s.cfg.QueueDepth),
-		ctl:     make(chan ctlMsg, 4),
-		cleaner: clean.NewStreamer(s.cfg.Clean),
-		engine:  stream.NewLive(s.cfg.Stream),
-		lastT:   make(map[string]int64),
-		met:     s.met,
-		sm:      &s.met.shards[i],
-		done:    make(chan struct{}),
+		id:       i,
+		svc:      s,
+		ch:       make(chan queuedRec, s.cfg.QueueDepth),
+		ctl:      make(chan ctlMsg, 4),
+		cleaner:  clean.NewStreamer(s.cfg.Clean),
+		engine:   stream.NewLive(s.cfg.Stream),
+		tails:    make(map[string]*taxiTail),
+		met:      s.met,
+		sm:       &s.met.shards[i],
+		nextCkpt: int64(s.cfg.CheckpointEvery),
+		done:     make(chan struct{}),
 	}
 	if s.cfg.WALDir == "" {
 		return sh, nil
 	}
-	sh.walPath = walPath(s.cfg.WALDir, i)
+	sh.walPath = WALPath(s.cfg.WALDir, i)
 	if _, err := os.Stat(sh.walPath); err == nil {
-		st, err := store.LoadFile(sh.walPath)
+		st, rec, err := store.RecoverFile(sh.walPath)
 		if err != nil {
 			return nil, fmt.Errorf("ingest: shard %d recovery: %w", i, err)
 		}
-		sh.replay(st)
 		sh.wal = st
+		sh.replay(st)
+		if rec.Truncated() {
+			sh.sm.walTruncations.Inc()
+			log.Printf("ingest: shard %d WAL %s damaged (%v): recovered %d records, rewriting clean",
+				i, sh.walPath, rec.Err, rec.Records)
+			if err := sh.checkpoint(); err != nil {
+				// Keep serving from memory; the next checkpoint retries.
+				log.Printf("ingest: shard %d clean rewrite failed: %v", i, err)
+			}
+		}
 	} else if os.IsNotExist(err) {
 		sh.wal = store.New()
 	} else {
@@ -110,16 +160,35 @@ func newShard(s *Service, i int) (*shard, error) {
 // through the fresh cleaner and engine re-runs live processing verbatim —
 // including any records the cleaner was still holding at the crash. The
 // recovered state is therefore byte-identical to the pre-checkpoint state
-// at any cut point, not just quiescent ones.
+// at any cut point, not just quiescent ones — and because the per-taxi
+// tail windows are rebuilt too, a client that re-sends records the crash
+// already absorbed is deduplicated exactly.
 func (sh *shard) replay(st *store.Store) {
 	var n int64
 	st.Scan(time.Time{}, time.Unix(1<<40, 0), func(r mdt.Record) bool {
-		sh.lastT[r.TaxiID] = r.Time.Unix()
+		sh.trackTail(r)
 		sh.pushClean(r)
 		n++
 		return true
 	})
 	sh.sm.replayed.Add(n)
+}
+
+// trackTail folds one ordering-accepted record into its taxi's tail
+// window. Callers must already have applied the ordering rule.
+func (sh *shard) trackTail(r mdt.Record) {
+	t := r.Time.Unix()
+	tail := sh.tails[r.TaxiID]
+	if tail == nil {
+		sh.tails[r.TaxiID] = &taxiTail{sec: t, recs: []mdt.Record{r}}
+		return
+	}
+	if t > tail.sec {
+		tail.sec = t
+		tail.recs = append(tail.recs[:0], r)
+		return
+	}
+	tail.recs = append(tail.recs, r)
 }
 
 // offer enqueues under DropOldest: it never blocks, discarding queued
@@ -202,10 +271,10 @@ func (sh *shard) flushAll() {
 	sh.emit(sh.engine.Flush())
 }
 
-// process applies the ordering rule, logs one arriving record to the WAL,
-// cleans it and ingests the survivors. The record hits the WAL before the
-// cleaner sees it so that a checkpoint always captures the cleaner's held
-// records too.
+// process applies the ordering rule and the re-send dedup window, logs one
+// arriving record to the WAL, cleans it and ingests the survivors. The
+// record hits the WAL before the cleaner sees it so that a checkpoint
+// always captures the cleaner's held records too.
 func (sh *shard) process(q queuedRec) {
 	now := time.Now()
 	sh.met.queueWait.Observe(now.Sub(q.at).Seconds())
@@ -215,12 +284,27 @@ func (sh *shard) process(q queuedRec) {
 	// WAL-on and WAL-off reject the same records, the cleaner never sees a
 	// time-travelling record, and replay can never fail.
 	t := rec.Time.Unix()
-	if t < sh.lastT[rec.TaxiID] {
+	tail := sh.tails[rec.TaxiID]
+	if tail != nil && t < tail.sec {
 		sh.sm.rejected.Inc()
 		sh.met.removedOOO.Inc()
 		return
 	}
-	sh.lastT[rec.TaxiID] = t
+	// Same-second arrivals: drop a byte-identical re-send (or GPRS
+	// retransmission) before it reaches WAL and cleaner — unless it is a
+	// PAYMENT while the cleaner holds this taxi's records pending, in
+	// which case the duplicate is a state signal it must see (see the
+	// tails field doc). A duplicate FREE or occupied record is never a
+	// signal: passing one through would re-extend or re-release a pending
+	// hold the WAL already captured, so it is dropped here.
+	if tail != nil && t == tail.sec && tail.contains(rec) &&
+		(rec.State != mdt.Payment || sh.cleaner.PendingFor(rec.TaxiID) == 0) {
+		sh.sm.rejected.Inc()
+		sh.sm.deduped.Inc()
+		sh.met.removedDup.Inc()
+		return
+	}
+	sh.trackTail(rec)
 	if sh.wal != nil {
 		if err := sh.wal.Append(rec); err != nil {
 			// Unreachable while the ordering rule above is at least as
@@ -230,8 +314,14 @@ func (sh *shard) process(q queuedRec) {
 			sh.met.removedOOO.Inc()
 			return
 		}
-		if sh.sm.walPending.Add(1) >= int64(sh.svc.cfg.CheckpointEvery) {
-			_ = sh.checkpoint() // error already recorded; keep serving
+		if sh.sm.walPending.Add(1) >= sh.nextCkpt {
+			if err := sh.checkpoint(); err != nil {
+				// A full checkpoint attempt per record would hammer a sick
+				// disk; back off by one interval and keep serving — the
+				// records are safe in memory and re-covered by the next
+				// successful save.
+				sh.nextCkpt += int64(sh.svc.cfg.CheckpointEvery)
+			}
 		}
 	}
 	sh.pushClean(rec)
@@ -286,17 +376,23 @@ func (sh *shard) refreshEngineGauges() {
 	sh.sm.taxis.Set(int64(sh.engine.TrackedTaxis()))
 }
 
-// checkpoint atomically rewrites the shard's WAL file.
+// checkpoint atomically rewrites the shard's WAL file through the
+// configured filesystem. A failed save leaves the previous on-disk copy
+// intact and the pending counter untouched (nothing became durable), is
+// counted, and is retried by the next checkpoint trigger.
 func (sh *shard) checkpoint() error {
 	if sh.wal == nil {
 		return nil
 	}
 	t0 := time.Now()
-	if err := sh.wal.SaveFile(sh.walPath); err != nil {
+	if err := sh.wal.SaveFileFS(sh.svc.cfg.FS, sh.walPath); err != nil {
+		sh.sm.ckptErrors.Inc()
+		log.Printf("ingest: shard %d checkpoint: %v", sh.id, err)
 		return err
 	}
 	sh.met.ckpt.Since(t0)
 	sh.sm.walPending.Set(0)
+	sh.nextCkpt = int64(sh.svc.cfg.CheckpointEvery)
 	sh.sm.checkpoints.Inc()
 	return nil
 }

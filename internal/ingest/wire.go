@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -99,36 +100,79 @@ func decodeBinary(body []byte) ([]mdt.Record, error) {
 	return recs, nil
 }
 
+// maxLine bounds one JSON line (a record is ~120 bytes; 1 MiB is garbage).
+const maxLine = 1 << 20
+
 // decodeJSONLines parses newline-delimited RecordJSON, skipping (and
-// counting) malformed lines.
-func decodeJSONLines(r io.Reader) (recs []mdt.Record, bad int64, err error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
+// counting) malformed lines — including over-long ones, which used to fail
+// the whole batch through the scanner's ErrTooLong and cost every good
+// record around them. lineOf[i] is the zero-based line index record i came
+// from and lines the total consumed, so the handler can report a cursor in
+// the client's own line space even when bad lines were skipped.
+func decodeJSONLines(r io.Reader) (recs []mdt.Record, lineOf []int, lines int, bad int64, err error) {
+	br := bufio.NewReaderSize(r, 64*1024)
+	var buf []byte
+	for {
+		chunk, e := br.ReadSlice('\n')
+		buf = append(buf, chunk...)
+		if e == bufio.ErrBufferFull {
+			if len(buf) > maxLine {
+				if e := discardLine(br); e != nil && e != io.EOF {
+					return recs, lineOf, lines, bad, e
+				}
+				lines++
+				bad++
+				buf = buf[:0]
+			}
 			continue
 		}
-		var j RecordJSON
-		if e := json.Unmarshal(line, &j); e != nil {
-			bad++
-			continue
+		if e != nil && e != io.EOF {
+			return recs, lineOf, lines, bad, e
 		}
-		rec, e := j.Record()
-		if e != nil {
-			bad++
-			continue
+		if len(buf) == 0 && e == io.EOF {
+			return recs, lineOf, lines, bad, nil
 		}
-		recs = append(recs, rec)
+		if line := bytes.TrimRight(buf, "\r\n"); len(line) > 0 {
+			var j RecordJSON
+			rec, decErr := mdt.Record{}, json.Unmarshal(line, &j)
+			if decErr == nil {
+				rec, decErr = j.Record()
+			}
+			if decErr != nil {
+				bad++
+			} else {
+				recs = append(recs, rec)
+				lineOf = append(lineOf, lines)
+			}
+		}
+		lines++
+		buf = buf[:0]
+		if e == io.EOF {
+			return recs, lineOf, lines, bad, nil
+		}
 	}
-	return recs, bad, sc.Err()
 }
 
-// ingestResponse is the /ingest reply body.
+// discardLine consumes the rest of an over-long line.
+func discardLine(br *bufio.Reader) error {
+	for {
+		if _, err := br.ReadSlice('\n'); err != bufio.ErrBufferFull {
+			return err
+		}
+	}
+}
+
+// ingestResponse is the /ingest reply body. Processed is the client's
+// retry cursor: how many units of its batch — lines for JSON bodies,
+// records for binary ones — the service consumed, counting skipped bad
+// lines. On 429 the client must resend its batch from Processed; equating
+// the cursor with Accepted (decoded records) instead re-sends or skips
+// records whenever a bad line was dropped during decode.
 type ingestResponse struct {
-	Accepted int    `json:"accepted"`
-	Bad      int64  `json:"bad,omitempty"`
-	Error    string `json:"error,omitempty"`
+	Accepted  int    `json:"accepted"`
+	Processed int    `json:"processed"`
+	Bad       int64  `json:"bad,omitempty"`
+	Error     string `json:"error,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -156,24 +200,37 @@ func (s *Service) HandleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	body := http.MaxBytesReader(w, r.Body, maxBody)
 	var (
-		recs []mdt.Record
-		bad  int64
-		err  error
+		recs   []mdt.Record
+		lineOf []int
+		lines  int
+		bad    int64
+		err    error
 	)
 	t0 := time.Now()
-	if r.Header.Get("Content-Type") == ContentTypeBinary {
+	binary := r.Header.Get("Content-Type") == ContentTypeBinary
+	if binary {
 		var raw []byte
 		if raw, err = io.ReadAll(body); err == nil {
 			recs, err = decodeBinary(raw)
 		}
 		if err != nil {
+			if tooLarge(err) {
+				// The body hit maxBody: a client bug or misconfiguration,
+				// not a bad record — don't poison the data-quality counter.
+				s.respond(w, http.StatusRequestEntityTooLarge, ingestResponse{Error: err.Error()})
+				return
+			}
 			s.met.badRecords.Add(1)
 			s.respond(w, http.StatusBadRequest, ingestResponse{Error: err.Error()})
 			return
 		}
 	} else {
-		recs, bad, err = decodeJSONLines(body)
+		recs, lineOf, lines, bad, err = decodeJSONLines(body)
 		if err != nil {
+			if tooLarge(err) {
+				s.respond(w, http.StatusRequestEntityTooLarge, ingestResponse{Error: err.Error()})
+				return
+			}
 			s.respond(w, http.StatusBadRequest, ingestResponse{Bad: bad, Error: err.Error()})
 			return
 		}
@@ -181,14 +238,30 @@ func (s *Service) HandleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.decode.Since(t0)
 	n, err := s.Accept(recs)
+	// The retry cursor: binary frames map 1:1 to records, JSON records map
+	// to the line they came from (past any skipped bad lines).
+	processed := n
+	if !binary {
+		if n == len(recs) {
+			processed = lines
+		} else {
+			processed = lineOf[n]
+		}
+	}
 	switch {
 	case errors.Is(err, ErrClosed):
 		s.respond(w, http.StatusServiceUnavailable, ingestResponse{Error: "ingest closed"})
 	case errors.Is(err, ErrBackpressure):
-		s.respond(w, http.StatusTooManyRequests, ingestResponse{Accepted: n, Bad: bad, Error: "backpressure: retry remaining records"})
+		s.respond(w, http.StatusTooManyRequests, ingestResponse{Accepted: n, Processed: processed, Bad: bad, Error: "backpressure: retry remaining records"})
 	default:
-		s.respond(w, http.StatusOK, ingestResponse{Accepted: n, Bad: bad})
+		s.respond(w, http.StatusOK, ingestResponse{Accepted: n, Processed: processed, Bad: bad})
 	}
+}
+
+// tooLarge reports whether err is http.MaxBytesReader tripping.
+func tooLarge(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
 }
 
 // HandleStats is the GET /ingest/stats handler.

@@ -1,0 +1,178 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"taxiqueue/internal/geo"
+	"taxiqueue/internal/mdt"
+)
+
+// recoverFixture builds a store with several taxis and enough records to
+// span sealed blocks, and returns it with its serialized bytes.
+func recoverFixture(t *testing.T, taxis, perTaxi int) (*Store, []byte) {
+	t.Helper()
+	s := New()
+	start := time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < perTaxi; i++ {
+		for tx := 0; tx < taxis; tx++ {
+			r := mdt.Record{
+				Time:   start.Add(time.Duration(i) * 7 * time.Second),
+				TaxiID: fmt.Sprintf("SH%04d", tx),
+				Pos:    geo.Point{Lat: 1.30 + float64(tx)*1e-4, Lon: 103.8 + float64(i)*1e-5},
+				Speed:  float64(i % 60),
+				State:  mdt.Free,
+			}
+			if err := s.Append(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return s, buf.Bytes()
+}
+
+// TestRecoverCleanFile: on an undamaged file Recover equals Load exactly.
+func TestRecoverCleanFile(t *testing.T) {
+	s, raw := recoverFixture(t, 4, 600)
+	got, rec, err := Recover(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Truncated() {
+		t.Fatalf("clean file reported truncated: %v", rec.Err)
+	}
+	if got.Len() != s.Len() || rec.Records != s.Len() {
+		t.Fatalf("recovered %d records (Recovery says %d), want %d", got.Len(), rec.Records, s.Len())
+	}
+}
+
+// TestRecoverTornTail: for every cut length, Recover keeps a loadable
+// prefix of complete frames (never failing), while Load rejects the file.
+func TestRecoverTornTail(t *testing.T) {
+	s, raw := recoverFixture(t, 3, 700)
+	full := s.Len()
+	prev := -1
+	// The smallest prefixes still keep the 8-byte magic header; anything
+	// shorter is the unrecoverable case TestRecoverHopelessFile covers.
+	for _, cut := range []int{1, 7, 64, 1023, len(raw) / 3, len(raw) / 2, len(raw) - 16, len(raw) - 9} {
+		torn := raw[:len(raw)-cut]
+		if _, err := Load(bytes.NewReader(torn)); err == nil {
+			t.Fatalf("cut %d: strict Load accepted a torn file", cut)
+		}
+		got, rec, err := Recover(bytes.NewReader(torn))
+		if err != nil {
+			t.Fatalf("cut %d: Recover failed outright: %v", cut, err)
+		}
+		if !rec.Truncated() {
+			t.Fatalf("cut %d: damage not reported", cut)
+		}
+		if got.Len() >= full {
+			t.Fatalf("cut %d: recovered %d records from a torn file of %d", cut, got.Len(), full)
+		}
+		// A larger cut can never recover more than a smaller one.
+		if prev >= 0 && got.Len() > prev {
+			t.Fatalf("cut %d: recovered %d > %d from the longer file", cut, got.Len(), prev)
+		}
+		prev = got.Len()
+		// The recovered prefix must round-trip cleanly: re-save, strict load.
+		var buf bytes.Buffer
+		if err := got.Save(&buf); err != nil {
+			t.Fatalf("cut %d: re-save: %v", cut, err)
+		}
+		if _, err := Load(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("cut %d: recovered prefix does not round-trip: %v", cut, err)
+		}
+	}
+}
+
+// TestRecoverKeepsPerTaxiPrefix: whatever the cut, each recovered partition
+// is an exact prefix of that taxi's original records — replaying it can
+// never violate the per-taxi time-order invariant.
+func TestRecoverKeepsPerTaxiPrefix(t *testing.T) {
+	s, raw := recoverFixture(t, 3, 700)
+	for cut := 1; cut < len(raw); cut += len(raw) / 97 {
+		got, _, err := Recover(bytes.NewReader(raw[:len(raw)-cut]))
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		for _, id := range got.Taxis() {
+			want := s.FullTrajectory(id)
+			have := got.FullTrajectory(id)
+			if len(have) > len(want) {
+				t.Fatalf("cut %d: taxi %s recovered %d > original %d", cut, id, len(have), len(want))
+			}
+			for i := range have {
+				if !have[i].Equal(want[i]) {
+					t.Fatalf("cut %d: taxi %s record %d differs after recovery", cut, id, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRecoverCorruptMidFile: flipped bytes inside a block payload stop the
+// scan at the damage and keep everything before it.
+func TestRecoverCorruptMidFile(t *testing.T) {
+	s, raw := recoverFixture(t, 3, 700)
+	bad := append([]byte(nil), raw...)
+	for i := len(bad) / 2; i < len(bad)/2+32 && i < len(bad); i++ {
+		bad[i] ^= 0xFF
+	}
+	got, rec, err := Recover(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Truncated() {
+		t.Fatal("mid-file corruption not reported")
+	}
+	if got.Len() == 0 || got.Len() >= s.Len() {
+		t.Fatalf("recovered %d of %d", got.Len(), s.Len())
+	}
+}
+
+// TestRecoverHopelessFile: a bad magic header is the one unrecoverable
+// case — Recover must error rather than return an empty store silently.
+func TestRecoverHopelessFile(t *testing.T) {
+	if _, _, err := Recover(bytes.NewReader([]byte("not a store file at all"))); err == nil {
+		t.Fatal("Recover accepted garbage")
+	}
+	if _, _, err := Recover(bytes.NewReader(nil)); err == nil {
+		t.Fatal("Recover accepted an empty file")
+	}
+}
+
+// TestRemoveTemps: stale SaveFileFS temp files (a crash between temp-write
+// and rename) are swept; committed files survive.
+func TestRemoveTemps(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := recoverFixture(t, 2, 100)
+	path := filepath.Join(dir, "shard-000.tqs")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, "shard-000.tqs.tmp-1234")
+	if err := os.WriteFile(stale, []byte("half-written checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := RemoveTemps(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != stale {
+		t.Fatalf("removed %v, want just the stale temp", removed)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale temp still present")
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatalf("committed file damaged by sweep: %v", err)
+	}
+}

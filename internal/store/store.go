@@ -257,16 +257,22 @@ var fileMagic = [8]byte{'T', 'Q', 'S', 'T', '2', 0, 0, 0}
 // crash mid-save can never corrupt or truncate an existing on-disk copy —
 // readers see either the old store or the new one, never a torn write.
 // Errors are wrapped with the destination path.
-func (s *Store) SaveFile(path string) error {
+func (s *Store) SaveFile(path string) error { return s.SaveFileFS(OS, path) }
+
+// SaveFileFS is SaveFile over an explicit filesystem — the seam the chaos
+// harness uses to inject short writes, fsync errors and crash-before-rename
+// into the durability path. A failed save always removes its temp file and
+// never touches the existing on-disk copy.
+func (s *Store) SaveFileFS(fsys FS, path string) error {
 	fail := func(err error) error { return fmt.Errorf("store: save %s: %w", path, err) }
-	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	f, err := fsys.CreateTemp(filepath.Dir(path), filepath.Base(path)+tempSuffix+"-*")
 	if err != nil {
 		return fail(err)
 	}
 	tmp := f.Name()
 	cleanup := func(err error) error {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fail(err)
 	}
 	// CreateTemp defaults to 0600; match what os.Create would have given.
@@ -280,14 +286,36 @@ func (s *Store) SaveFile(path string) error {
 		return cleanup(err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fail(err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return fail(err)
 	}
 	return nil
+}
+
+// tempSuffix marks SaveFileFS temp files; RemoveTemps matches on it.
+const tempSuffix = ".tmp"
+
+// RemoveTemps deletes stale SaveFileFS temp files left in dir by a crash
+// between temp-write and rename. The committed files are untouched — the
+// rename either happened (new copy) or did not (old copy); either way the
+// temp is garbage. Returns the removed paths.
+func RemoveTemps(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*"+tempSuffix+"-*"))
+	if err != nil {
+		return nil, err
+	}
+	var removed []string
+	for _, m := range matches {
+		if err := os.Remove(m); err != nil {
+			return removed, err
+		}
+		removed = append(removed, m)
+	}
+	return removed, nil
 }
 
 // LoadFile reads a store previously written by SaveFile (or Save to a
@@ -354,29 +382,101 @@ func (s *Store) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Load reads a store previously written by Save.
+// Load reads a store previously written by Save. Any structural damage —
+// a torn tail included — is an error; use Recover when a truncated prefix
+// is better than no store at all (WAL replay after a crash).
 func Load(r io.Reader) (*Store, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
-	var magic [8]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, err
-	}
-	if magic != fileMagic {
-		return nil, errBadFile
-	}
-	nParts, err := binary.ReadUvarint(br)
+	s, rec, err := load(r)
 	if err != nil {
 		return nil, err
 	}
+	if rec.Err != nil {
+		return nil, rec.Err
+	}
+	return s, nil
+}
+
+// Recovery reports what a tolerant load salvaged.
+type Recovery struct {
+	// Records is the number of records recovered.
+	Records int
+	// Err is the corruption the loader stopped at; nil for a clean file.
+	Err error
+	// TruncatedAt is the partition the corruption was found in (its taxi
+	// ID), when known. Empty for a clean file or header-level damage.
+	TruncatedAt string
+}
+
+// Truncated reports whether the file was damaged and only a prefix loaded.
+func (r Recovery) Truncated() bool { return r.Err != nil }
+
+// Recover reads a store like Load but truncates at corruption instead of
+// failing: every complete record frame before the first damaged byte is
+// kept, the rest of the file is discarded, and the damage is described in
+// the returned Recovery. The error return is reserved for files so damaged
+// that nothing is recoverable (bad or missing magic header) — a torn tail
+// from a crash mid-write never fails.
+//
+// The on-disk layout is sequential (partitions sorted by taxi ID, blocks in
+// time order), so the kept prefix preserves the per-taxi time-order
+// invariant: recovered partitions hold a time-prefix of their records.
+func Recover(r io.Reader) (*Store, Recovery, error) {
+	return load(r)
+}
+
+// RecoverFile is Recover over a file path; errors are wrapped with it.
+func RecoverFile(path string) (*Store, Recovery, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, Recovery{}, fmt.Errorf("store: recover %s: %w", path, err)
+	}
+	defer f.Close()
+	s, rec, err := Recover(f)
+	if err != nil {
+		return nil, rec, fmt.Errorf("store: recover %s: %w", path, err)
+	}
+	return s, rec, nil
+}
+
+// load is the shared reader behind Load and Recover: a structural error
+// after the magic header stops the scan and lands in Recovery.Err with the
+// store built so far (complete frames of a torn block included) intact;
+// Load surfaces that error, Recover keeps the prefix. Only header-level
+// damage — nothing recoverable — uses the error return.
+func load(r io.Reader) (*Store, Recovery, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, Recovery{}, fmt.Errorf("store: missing header: %w", errBadFile)
+	}
+	if magic != fileMagic {
+		return nil, Recovery{}, errBadFile
+	}
 	s := New()
+	rec, err := loadBody(br, s)
+	rec.Err = err
+	rec.Records = s.count
+	return s, rec, nil
+}
+
+// loadBody reads partitions into s until EOF or the first structural error,
+// which it returns (nil on a clean read). Everything decoded before the
+// error is already in s.
+func loadBody(br *bufio.Reader, s *Store) (Recovery, error) {
+	var rec Recovery
+	nParts, err := binary.ReadUvarint(br)
+	if err != nil {
+		return rec, fmt.Errorf("store: partition count: %w", err)
+	}
 	for pi := uint64(0); pi < nParts; pi++ {
 		id, err := readString(br)
 		if err != nil {
-			return nil, err
+			return rec, fmt.Errorf("store: partition %d name: %w", pi, err)
 		}
+		rec.TruncatedAt = id
 		nBlocks, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, err
+			return rec, fmt.Errorf("store: %s block count: %w", id, err)
 		}
 		p := &partition{taxiID: id}
 		s.parts[id] = p
@@ -384,45 +484,57 @@ func Load(r io.Reader) (*Store, error) {
 		for bi := uint64(0); bi < nBlocks; bi++ {
 			nRecs, err := binary.ReadUvarint(br)
 			if err != nil {
-				return nil, err
+				return rec, fmt.Errorf("store: %s block header: %w", id, err)
 			}
 			minT, err := binary.ReadUvarint(br)
 			if err != nil {
-				return nil, err
+				return rec, fmt.Errorf("store: %s block header: %w", id, err)
 			}
 			maxT, err := binary.ReadUvarint(br)
 			if err != nil {
-				return nil, err
+				return rec, fmt.Errorf("store: %s block header: %w", id, err)
 			}
 			size, err := binary.ReadUvarint(br)
 			if err != nil {
-				return nil, err
+				return rec, fmt.Errorf("store: %s block header: %w", id, err)
 			}
 			payload := make([]byte, size)
-			if _, err := io.ReadFull(br, payload); err != nil {
-				return nil, err
-			}
+			read, err := io.ReadFull(br, payload)
+			payload = payload[:read]
 			b := block{minT: int64(minT), maxT: int64(maxT), recs: make([]mdt.Record, 0, nRecs)}
+			var frameErr error
 			for len(payload) > 0 {
-				rec, n, err := mdt.DecodeBinary(payload)
+				r, n, err := mdt.DecodeBinary(payload)
 				if err != nil {
-					return nil, fmt.Errorf("store: corrupt block for %s: %w", id, err)
+					frameErr = fmt.Errorf("store: corrupt block for %s: %w", id, err)
+					break
 				}
-				b.recs = append(b.recs, rec)
+				b.recs = append(b.recs, r)
 				payload = payload[n:]
 			}
-			if uint64(len(b.recs)) != nRecs {
-				return nil, errBadFile
-			}
-			p.blocks = append(p.blocks, b)
-			p.count += len(b.recs)
-			s.count += len(b.recs)
+			// Keep the complete frames of a torn block: they precede the
+			// damage, so per-taxi time order still holds.
 			if len(b.recs) > 0 {
-				p.lastT = b.recs[len(b.recs)-1].Time.Unix()
+				b.maxT = b.recs[len(b.recs)-1].Time.Unix()
+				p.blocks = append(p.blocks, b)
+				p.count += len(b.recs)
+				s.count += len(b.recs)
+				p.lastT = b.maxT
+			}
+			if frameErr != nil {
+				return rec, frameErr
+			}
+			if err != nil {
+				return rec, fmt.Errorf("store: %s torn block payload: %w", id, err)
+			}
+			if uint64(len(b.recs)) != nRecs {
+				return rec, fmt.Errorf("store: %s block holds %d of %d records: %w",
+					id, len(b.recs), nRecs, errBadFile)
 			}
 		}
 	}
-	return s, nil
+	rec.TruncatedAt = ""
+	return rec, nil
 }
 
 func writeUvarint(w *bufio.Writer, v uint64) error {

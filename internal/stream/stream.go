@@ -325,6 +325,11 @@ func (l *Live) FlushUntil(now time.Time) []Event {
 // when the spot has no activity in that slot or the elapsed share is too
 // small to extrapolate (< 20% of the slot).
 func (l *Live) CurrentEstimate(spot int, now time.Time) (core.QueueType, bool) {
+	if spot < 0 || spot >= len(l.accs) {
+		// An unknown spot (stale client, wrong config) has no estimate; it
+		// used to panic the caller.
+		return core.Unidentified, false
+	}
 	j := l.cfg.Grid.Index(now)
 	if j < 0 {
 		return core.Unidentified, false

@@ -218,6 +218,13 @@ func TestCurrentEstimate(t *testing.T) {
 	if _, ok := live.CurrentEstimate(0, noon.Add(time.Minute)); ok {
 		t.Fatal("estimate extrapolated from <20% of a slot")
 	}
+	// Out-of-range spots (stale client, wrong config) answer "no estimate"
+	// instead of panicking.
+	for _, spot := range []int{-1, 1, 99} {
+		if q, ok := live.CurrentEstimate(spot, at); ok || q != core.Unidentified {
+			t.Fatalf("spot %d: estimate %v, ok=%v for an unknown spot", spot, q, ok)
+		}
+	}
 }
 
 func TestFlushIdempotent(t *testing.T) {

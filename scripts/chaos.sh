@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# The resilience gate: run the fault-injection suites under the race
+# detector — the chaos package's own unit tests (seeded fault wrappers,
+# torn-tail recovery), the feed client's retry/resume tests, and the
+# end-to-end scenario (a simulated day through a flaky transport, a
+# mid-day crash with a torn WAL, a blind full re-send) that must converge
+# to labels byte-identical to a fault-free run.
+#
+# Usage:
+#   scripts/chaos.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo ">> chaos harness unit tests (-race)"
+go test -race -count=1 ./internal/chaos ./internal/feedclient
+
+echo ">> end-to-end chaos day (-race)"
+go test -race -count=1 -run TestChaosDayConvergesToFaultFreeLabels \
+	-v ./internal/chaos
+
+echo ">> chaos gate clean"

@@ -19,7 +19,8 @@ go test ./...
 
 echo ">> go test -race (concurrent packages)"
 go test -race -count=1 \
-	./internal/cluster ./internal/core ./internal/ingest \
-	./internal/obs ./internal/stream ./cmd/queued
+	./internal/chaos ./internal/cluster ./internal/core \
+	./internal/feedclient ./internal/ingest ./internal/obs \
+	./internal/store ./internal/stream ./cmd/queued
 
 echo ">> all checks clean"
