@@ -1,23 +1,50 @@
 package main
 
 import (
-	"encoding/json"
-	"log"
 	"net/http"
 	"time"
 
 	"taxiqueue/internal/core"
 	"taxiqueue/internal/ingest"
+	"taxiqueue/internal/obs"
 	"taxiqueue/internal/stream"
 )
 
-// liveServer serves /spots from the live ingestion service instead of the
-// batch analysis: the nightly batch run still supplies the spot positions
-// and per-spot thresholds, but every context comes from the records POSTed
-// to /ingest, and a slot is only served once no shard can still change it.
+// liveServer serves /spots, /context and /estimate from the live ingestion
+// service instead of the batch analysis: the nightly batch run still
+// supplies the spot positions and per-spot thresholds, but every context
+// comes from the records POSTed to /ingest, and a final cell is only
+// served once no shard can still change it.
+//
+// The read path is lock-free end to end: each request loads the published
+// *batchView and the aggregator's published *ingest.Snapshot, and the
+// response cache is keyed on that pointer pair — a new snapshot (one per
+// watermark advance) invalidates exactly the bodies it changed.
 type liveServer struct {
 	srv *server
 	svc *ingest.Service
+
+	spotsCache   *renderCache
+	contextCache *renderCache
+	estCache     *renderCache
+}
+
+// liveKey is the cache epoch for snapshot-backed endpoints: the pair of
+// published pointers a response was rendered from, compared by identity.
+type liveKey struct {
+	view *batchView
+	snap *ingest.Snapshot
+}
+
+// newLiveServer wires the live read path and its caches to reg.
+func newLiveServer(srv *server, svc *ingest.Service, reg *obs.Registry) *liveServer {
+	return &liveServer{
+		srv:          srv,
+		svc:          svc,
+		spotsCache:   newRenderCache(reg, "live_spots"),
+		contextCache: newRenderCache(reg, "live_context"),
+		estCache:     newRenderCache(reg, "estimate"),
+	}
 }
 
 // liveStreamConfig derives the per-shard engine configuration from the
@@ -36,51 +63,89 @@ func liveStreamConfig(res *core.Result) stream.Config {
 	}
 }
 
-// handleSpots is the live-mode /spots: labels come from the ingest
-// aggregator; a slot still open (or never fed) serves as Unidentified.
+// handleSpots is the live-mode /spots: labels come from the published
+// ingest snapshot; a slot still open (or never fed) serves as
+// Unidentified. Bodies are cached per (view, snapshot, slot).
 func (l *liveServer) handleSpots(w http.ResponseWriter, r *http.Request) {
-	l.srv.mu.RLock()
-	res := l.srv.result
-	grid := l.srv.grid
-	city := l.srv.city
-	l.srv.mu.RUnlock()
-	at := grid.Start.Add(12 * time.Hour)
-	if v := r.URL.Query().Get("at"); v != "" {
-		t, err := time.Parse(time.RFC3339, v)
-		if err != nil {
-			http.Error(w, "bad 'at' timestamp", http.StatusBadRequest)
-			return
-		}
-		at = t
+	v, bucket, ok := l.srv.loadView(w, r)
+	if !ok {
+		return
 	}
-	slot := grid.Index(at)
-	out := make([]spotJSON, 0, len(res.Spots))
-	for i := range res.Spots {
-		sa := &res.Spots[i]
-		label := core.Unidentified
-		if lv, ok := l.svc.Label(i, slot); ok {
-			label = lv
-		}
-		sj := spotJSON{
-			Lat: sa.Spot.Pos.Lat, Lon: sa.Spot.Pos.Lon,
-			Zone: sa.Spot.Zone.String(), Pickups: sa.Spot.PickupCount,
-			Context: label.String(),
-		}
-		if lm, d, ok := city.NearestLandmark(sa.Spot.Pos); ok && d < 50 {
-			sj.Landmark = lm.Name
-		}
-		out = append(out, sj)
-	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(out); err != nil {
-		log.Printf("encode: %v", err)
-	}
+	snap := l.svc.Snapshot()
+	body := l.spotsCache.get(liveKey{v, snap}, bucket, v.buckets(), func() []byte {
+		return v.renderSpots(bucket, func(spot, slot int) core.QueueType {
+			if label, ok := snap.Label(spot, slot); ok {
+				return label
+			}
+			return core.Unidentified
+		})
+	})
+	writeJSON(w, body)
 }
 
-// registerLive mounts the ingestion endpoints and swaps /spots to the live
-// view. Call after the initial batch analysis.
+// handleContext is the live-mode /context: the snapshot's merged features
+// and labels for one slot, final only below the cross-shard watermark.
+func (l *liveServer) handleContext(w http.ResponseWriter, r *http.Request) {
+	v, bucket, ok := l.srv.loadView(w, r)
+	if !ok {
+		return
+	}
+	snap := l.svc.Snapshot()
+	body := l.contextCache.get(liveKey{v, snap}, bucket, v.buckets(), func() []byte {
+		out := make([]contextJSON, len(v.result.Spots))
+		for i := range out {
+			if bucket >= v.grid.Slots {
+				// Out-of-grid times never resolve to a cell, even when the
+				// live engine's grid extends past the batch day.
+				out[i] = cellJSON(i, core.Unidentified, core.SlotFeatures{}, false)
+				continue
+			}
+			feats, label, final := snap.Context(i, bucket)
+			out[i] = cellJSON(i, label, feats, final)
+		}
+		return encodeJSON(out)
+	})
+	writeJSON(w, body)
+}
+
+// estimateJSON is the /estimate payload: best-effort contexts for the slot
+// the feed is currently inside, merged from every shard's provisional
+// accumulators (§8's early-estimate idea applied across shards). Live[i]
+// reports whether spot i had enough of the slot observed to classify.
+type estimateJSON struct {
+	Version  uint64    `json:"version"`
+	AsOf     time.Time `json:"as_of"`
+	Slot     int       `json:"slot"`
+	Contexts []string  `json:"contexts"`
+	Live     []bool    `json:"live"`
+}
+
+// handleEstimate serves the provisional estimate, cached by the estimate
+// version the shards bump as they export fresh accumulators. The version
+// is read before the merge, so a cached body is never newer than its key.
+func (l *liveServer) handleEstimate(w http.ResponseWriter, _ *http.Request) {
+	ver := l.svc.EstimateVersion()
+	body := l.estCache.get(ver, 0, 1, func() []byte {
+		est := l.svc.Estimate()
+		out := estimateJSON{
+			Version: est.Version, AsOf: est.AsOf, Slot: est.Slot,
+			Contexts: make([]string, len(est.Labels)),
+			Live:     est.OK,
+		}
+		for i, lb := range est.Labels {
+			out.Contexts[i] = lb.String()
+		}
+		return encodeJSON(out)
+	})
+	writeJSON(w, body)
+}
+
+// registerLive mounts the ingestion endpoints and swaps the read endpoints
+// to the live view. Call after the initial batch analysis.
 func registerLive(mux *http.ServeMux, l *liveServer) {
 	mux.HandleFunc("/spots", l.handleSpots)
+	mux.HandleFunc("/context", l.handleContext)
+	mux.HandleFunc("/estimate", l.handleEstimate)
 	mux.HandleFunc("/ingest", l.svc.HandleIngest)
 	mux.HandleFunc("/ingest/stats", l.svc.HandleStats)
 	mux.HandleFunc("/ingest/flush", l.svc.HandleFlush)

@@ -24,8 +24,6 @@ import (
 func liveFixture(t *testing.T) (*httptest.Server, *server, *ingest.Service, sim.Output, []func()) {
 	t.Helper()
 	out := sim.Run(sim.Config{Seed: 777, City: citymap.Generate(777, 0.1), InjectFaults: true})
-	srv := &server{}
-	srv.city = out.Config.City
 	cfg := core.DefaultEngineConfig()
 	cfg.Detector.Cluster = cluster.Params{EpsMeters: 15, MinPoints: 25}
 	cfg.Grid = core.DaySlots(out.Config.Start)
@@ -38,7 +36,6 @@ func liveFixture(t *testing.T) (*httptest.Server, *server, *ingest.Service, sim.
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv.result, srv.grid = res, cfg.Grid
 	svc, err := ingest.NewService(ingest.Config{
 		Stream: liveStreamConfig(res),
 		Clean:  clean.Config{ValidFrame: citymap.Island},
@@ -47,8 +44,10 @@ func liveFixture(t *testing.T) (*httptest.Server, *server, *ingest.Service, sim.
 	if err != nil {
 		t.Fatal(err)
 	}
+	srv := newServer(svc.Registry())
+	srv.view.Store(newBatchView(out.Config.City, res))
 	mux := http.NewServeMux()
-	registerLive(mux, &liveServer{srv: srv, svc: svc})
+	registerLive(mux, newLiveServer(srv, svc, svc.Registry()))
 	registerOps(mux, srv, svc, svc.Registry(), true)
 	ts := httptest.NewServer(mux)
 	return ts, srv, svc, out, []func(){ts.Close, func() { _ = svc.Close() }}
@@ -123,8 +122,9 @@ func TestLiveEndToEnd(t *testing.T) {
 
 	// /spots at every slot midpoint must track the batch labels.
 	checked, mismatches := 0, 0
-	for j := 0; j < srv.grid.Slots; j++ {
-		at := srv.grid.Start.Add(time.Duration(j)*srv.grid.SlotLen + srv.grid.SlotLen/2)
+	grid := srv.view.Load().grid
+	for j := 0; j < grid.Slots; j++ {
+		at := grid.Start.Add(time.Duration(j)*grid.SlotLen + grid.SlotLen/2)
 		resp, err := http.Get(ts.URL + "/spots?at=" + at.UTC().Format(time.RFC3339))
 		if err != nil {
 			t.Fatal(err)
@@ -134,11 +134,11 @@ func TestLiveEndToEnd(t *testing.T) {
 			t.Fatal(err)
 		}
 		resp.Body.Close()
-		if len(spots) != len(srv.result.Spots) {
-			t.Fatalf("slot %d: %d spots, want %d", j, len(spots), len(srv.result.Spots))
+		if len(spots) != len(srv.result().Spots) {
+			t.Fatalf("slot %d: %d spots, want %d", j, len(spots), len(srv.result().Spots))
 		}
 		for i := range spots {
-			batchLabel := srv.result.Spots[i].Labels[j].String()
+			batchLabel := srv.result().Spots[i].Labels[j].String()
 			if batchLabel == "Unidentified" && spots[i].Context == "Unidentified" {
 				continue
 			}
@@ -262,8 +262,8 @@ func TestLiveSpotsBeforeFeed(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&spots); err != nil {
 		t.Fatal(err)
 	}
-	if len(spots) != len(srv.result.Spots) {
-		t.Fatalf("%d spots, want %d", len(spots), len(srv.result.Spots))
+	if len(spots) != len(srv.result().Spots) {
+		t.Fatalf("%d spots, want %d", len(spots), len(srv.result().Spots))
 	}
 	for _, sp := range spots {
 		if sp.Context != "Unidentified" {

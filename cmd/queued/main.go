@@ -5,11 +5,18 @@
 //	GET /                       web frontend (canvas map of spots + contexts)
 //	GET /spots                  all detected queue spots with current context
 //	GET /spots?at=RFC3339       contexts at a specific time
+//	GET /context[?at=..]        per-spot context + §5.2 features for one slot
 //	GET /recommend?for=driver&lat=..&lon=..[&at=..]  ranked queue spots (§9)
 //	GET /monitors ...           the vehicle monitor service (see internal/monitor)
-//	GET /metrics                Prometheus text metrics (ingest + batch pipeline)
+//	GET /metrics                Prometheus text metrics (ingest + serve caches)
 //	GET /healthz                readiness: batch loaded, shards alive, WAL writable
 //	GET /debug/pprof/*          runtime profiling, when started with -pprof
+//
+// The read path is lock-free: the batch analysis and the live ingest
+// aggregator each publish an immutable view behind an atomic pointer, and
+// the hot endpoints serve pre-encoded bodies from a per-epoch cache (see
+// cache.go) — a request costs one pointer load and one cache lookup, and
+// invalidation is pointer identity, never a timer.
 //
 // With -live the batch run only bootstraps the spot positions and
 // thresholds; contexts are then served from records POSTed to /ingest
@@ -18,6 +25,7 @@
 //	POST /ingest                JSON-lines or binary MDT record batches
 //	POST /ingest/flush          finalize every slot (end of feed)
 //	GET  /ingest/stats          per-shard accepted/rejected/dropped/lag
+//	GET  /estimate              provisional contexts for the still-open slot
 //
 // Usage:
 //
@@ -33,20 +41,17 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"sync"
 	"syscall"
 	"time"
 
 	"taxiqueue/internal/citymap"
 	"taxiqueue/internal/clean"
-	"taxiqueue/internal/cluster"
 	"taxiqueue/internal/core"
 	"taxiqueue/internal/geo"
 	"taxiqueue/internal/ingest"
 	"taxiqueue/internal/monitor"
 	"taxiqueue/internal/obs"
 	"taxiqueue/internal/recommend"
-	"taxiqueue/internal/sim"
 )
 
 // spotJSON is the wire format for one detected spot.
@@ -59,86 +64,45 @@ type spotJSON struct {
 	Landmark string  `json:"landmark,omitempty"`
 }
 
-type server struct {
-	mu      sync.RWMutex
-	city    *citymap.Map
-	result  *core.Result
-	grid    core.SlotGrid
-	refresh time.Time
-}
-
-func (s *server) recompute(seed int64, scale float64, minPts int) error {
-	city := s.city
-	if city == nil {
-		city = citymap.Generate(seed, scale)
-	}
-	out := sim.Run(sim.Config{Seed: seed, City: city, InjectFaults: true})
-	cleaned, _ := clean.Clean(out.Records, clean.Config{ValidFrame: citymap.Island})
-	cfg := core.DefaultEngineConfig()
-	cfg.Detector.Cluster = cluster.Params{EpsMeters: 15, MinPoints: minPts}
-	engine, err := core.NewEngine(cfg)
-	if err != nil {
-		return err
-	}
-	res, err := engine.Analyze(cleaned)
-	if err != nil {
-		return err
-	}
-	s.mu.Lock()
-	s.city = city
-	s.result = res
-	s.grid = res.Config.Grid
-	s.refresh = time.Now()
-	s.mu.Unlock()
-	return nil
-}
-
+// handleSpots serves the batch-mode /spots from the per-epoch cache: the
+// body for each slot is encoded once per published view and then served as
+// immutable bytes.
 func (s *server) handleSpots(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	res := s.result
-	grid := s.grid
-	city := s.city
-	s.mu.RUnlock()
-	if res == nil {
-		http.Error(w, "not ready", http.StatusServiceUnavailable)
+	v, bucket, ok := s.loadView(w, r)
+	if !ok {
 		return
 	}
-	at := grid.Start.Add(12 * time.Hour)
-	if v := r.URL.Query().Get("at"); v != "" {
-		t, err := time.Parse(time.RFC3339, v)
-		if err != nil {
-			http.Error(w, "bad 'at' timestamp", http.StatusBadRequest)
-			return
-		}
-		at = t
+	body := s.spotsCache.get(v, bucket, v.buckets(), func() []byte {
+		return v.renderSpots(bucket, func(spot, slot int) core.QueueType {
+			if labels := v.result.Spots[spot].Labels; slot < len(labels) {
+				return labels[slot]
+			}
+			return core.Unidentified
+		})
+	})
+	writeJSON(w, body)
+}
+
+// handleContext serves the per-spot contexts and features of one slot,
+// cached per (view, slot).
+func (s *server) handleContext(w http.ResponseWriter, r *http.Request) {
+	v, bucket, ok := s.loadView(w, r)
+	if !ok {
+		return
 	}
-	out := make([]spotJSON, 0, len(res.Spots))
-	for i := range res.Spots {
-		sa := &res.Spots[i]
-		sj := spotJSON{
-			Lat: sa.Spot.Pos.Lat, Lon: sa.Spot.Pos.Lon,
-			Zone: sa.Spot.Zone.String(), Pickups: sa.Spot.PickupCount,
-			Context: sa.LabelAt(grid, at).String(),
-		}
-		if lm, d, ok := city.NearestLandmark(sa.Spot.Pos); ok && d < 50 {
-			sj.Landmark = lm.Name
-		}
-		out = append(out, sj)
-	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(out); err != nil {
-		log.Printf("encode: %v", err)
-	}
+	body := s.contextCache.get(v, bucket, v.buckets(), func() []byte {
+		return v.renderContext(bucket)
+	})
+	writeJSON(w, body)
 }
 
 // handleRecommend serves the §9 recommendation feed for drivers (passenger
-// queues) and commuters (taxi queues).
+// queues) and commuters (taxi queues). The ranking depends on the caller's
+// position, so the body is not cacheable — but the handler is still
+// lock-free: it reads one published view.
 func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	res := s.result
-	grid := s.grid
-	s.mu.RUnlock()
-	if res == nil {
+	v := s.view.Load()
+	if v == nil {
 		http.Error(w, "not ready", http.StatusServiceUnavailable)
 		return
 	}
@@ -162,16 +126,16 @@ func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad lon", http.StatusBadRequest)
 		return
 	}
-	at := grid.Start.Add(12 * time.Hour)
-	if v := q.Get("at"); v != "" {
-		t, err := time.Parse(time.RFC3339, v)
+	at := v.grid.Start.Add(12 * time.Hour)
+	if qs := q.Get("at"); qs != "" {
+		t, err := time.Parse(time.RFC3339, qs)
 		if err != nil {
 			http.Error(w, "bad 'at'", http.StatusBadRequest)
 			return
 		}
 		at = t
 	}
-	recs := recommend.Recommend(res, aud, geo.Point{Lat: lat, Lon: lon}, at, recommend.Options{})
+	recs := recommend.Recommend(v.result, aud, geo.Point{Lat: lat, Lon: lon}, at, recommend.Options{})
 	type recJSON struct {
 		Lat      float64 `json:"lat"`
 		Lon      float64 `json:"lon"`
@@ -207,12 +171,12 @@ func main() {
 	withPprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof")
 	flag.Parse()
 
-	srv := &server{}
+	srv := newServer(obs.Default)
 	log.Printf("queued: analyzing initial day (scale %.2f)...", *scale)
 	if err := srv.recompute(*seed, *scale, *minPts); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("queued: %d queue spots ready", len(srv.result.Spots))
+	log.Printf("queued: %d queue spots ready", len(srv.result().Spots))
 
 	var liveSrv *liveServer
 	if *live {
@@ -229,7 +193,7 @@ func main() {
 			*refresh = 0
 		}
 		svc, err := ingest.NewService(ingest.Config{
-			Stream:          liveStreamConfig(srv.result),
+			Stream:          liveStreamConfig(srv.result()),
 			Clean:           clean.Config{ValidFrame: citymap.Island},
 			Shards:          *shards,
 			QueueDepth:      *queueDepth,
@@ -241,7 +205,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		liveSrv = &liveServer{srv: srv, svc: svc}
+		liveSrv = newLiveServer(srv, svc, obs.Default)
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		go func() {
@@ -262,7 +226,7 @@ func main() {
 				if err := srv.recompute(*seed+i, *scale, *minPts); err != nil {
 					log.Printf("recompute: %v", err)
 				} else {
-					log.Printf("queued: refreshed (%d spots)", len(srv.result.Spots))
+					log.Printf("queued: refreshed (%d spots)", len(srv.result().Spots))
 				}
 			}
 		}()
@@ -270,16 +234,14 @@ func main() {
 
 	// Vehicle monitor endpoints over the busiest spots.
 	monSvc := monitor.NewService()
-	srv.mu.RLock()
-	for i := range srv.result.Spots {
+	for i, sa := range srv.result().Spots {
 		if i >= 5 {
 			break
 		}
-		sp := srv.result.Spots[i].Spot
+		sp := sa.Spot
 		name := sp.Zone.String() + "-" + sp.Pos.String()
 		monSvc.Add(monitor.NewAreaCounter(name, geo.CirclePolygon(sp.Pos, 40, 12)))
 	}
-	srv.mu.RUnlock()
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", handleIndex)
@@ -287,6 +249,7 @@ func main() {
 		registerLive(mux, liveSrv)
 	} else {
 		mux.HandleFunc("/spots", srv.handleSpots)
+		mux.HandleFunc("/context", srv.handleContext)
 	}
 	mux.HandleFunc("/recommend", srv.handleRecommend)
 	mux.Handle("/monitors", monSvc)

@@ -11,6 +11,7 @@ import (
 	"taxiqueue/internal/citymap"
 	"taxiqueue/internal/core"
 	"taxiqueue/internal/geo"
+	"taxiqueue/internal/obs"
 )
 
 // testServer builds a server with a hand-made result (no simulation).
@@ -32,7 +33,9 @@ func testServer() *server {
 			Labels: labels,
 		}},
 	}
-	return &server{city: city, result: res, grid: grid}
+	srv := newServer(obs.NewRegistry())
+	srv.view.Store(newBatchView(city, res))
+	return srv
 }
 
 func TestHandleSpots(t *testing.T) {
@@ -63,7 +66,7 @@ func TestHandleSpotsBadTime(t *testing.T) {
 }
 
 func TestHandleSpotsNotReady(t *testing.T) {
-	srv := &server{}
+	srv := newServer(obs.NewRegistry())
 	w := httptest.NewRecorder()
 	srv.handleSpots(w, httptest.NewRequest("GET", "/spots", nil))
 	if w.Code != http.StatusServiceUnavailable {

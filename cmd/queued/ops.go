@@ -32,9 +32,7 @@ func registerOps(mux *http.ServeMux, srv *server, svc *ingest.Service, reg *obs.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		out := healthJSON{Status: "ok"}
 		code := http.StatusOK
-		srv.mu.RLock()
-		ready := srv.result != nil
-		srv.mu.RUnlock()
+		ready := srv.view.Load() != nil
 		switch {
 		case !ready:
 			out = healthJSON{Status: "unready", Reason: "batch analysis not loaded"}

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"taxiqueue/internal/citymap"
+	"taxiqueue/internal/clean"
+	"taxiqueue/internal/cluster"
+	"taxiqueue/internal/core"
+	"taxiqueue/internal/obs"
+	"taxiqueue/internal/sim"
+)
+
+// batchView is one immutable publication of the nightly batch analysis:
+// everything the read path needs, computed once at (re)analysis time. The
+// server swaps the current view in with a single atomic pointer store
+// (RCU style) and handlers load it once per request — no handler takes a
+// lock, and a recompute can never tear a response in half because a
+// request that loaded the old pointer keeps reading the old, unchanged
+// view to completion.
+type batchView struct {
+	city    *citymap.Map
+	result  *core.Result
+	grid    core.SlotGrid
+	refresh time.Time
+
+	// spotMeta is the slot-invariant part of the /spots payload (position,
+	// zone, pickup count, nearest landmark), resolved once per publication
+	// instead of once per request. Context is filled per slot at render
+	// time.
+	spotMeta []spotJSON
+}
+
+// newBatchView derives the immutable read view from one analysis result.
+func newBatchView(city *citymap.Map, res *core.Result) *batchView {
+	v := &batchView{
+		city:     city,
+		result:   res,
+		grid:     res.Config.Grid,
+		refresh:  time.Now(),
+		spotMeta: make([]spotJSON, len(res.Spots)),
+	}
+	for i := range res.Spots {
+		sa := &res.Spots[i]
+		sj := spotJSON{
+			Lat: sa.Spot.Pos.Lat, Lon: sa.Spot.Pos.Lon,
+			Zone: sa.Spot.Zone.String(), Pickups: sa.Spot.PickupCount,
+		}
+		if lm, d, ok := city.NearestLandmark(sa.Spot.Pos); ok && d < 50 {
+			sj.Landmark = lm.Name
+		}
+		v.spotMeta[i] = sj
+	}
+	return v
+}
+
+// slotBucket maps a query time onto a cache index: slot j for in-grid
+// times, and one shared out-of-grid bucket (== grid.Slots) for everything
+// else, since every out-of-grid time serves the identical all-Unidentified
+// body.
+func (v *batchView) slotBucket(at time.Time) int {
+	j := v.grid.Index(at)
+	if j < 0 || j >= v.grid.Slots {
+		return v.grid.Slots
+	}
+	return j
+}
+
+// buckets is the cache width for slot-keyed endpoints.
+func (v *batchView) buckets() int { return v.grid.Slots + 1 }
+
+// renderSpots encodes the /spots body for one slot bucket, with labels
+// supplied by the mode (batch result or live snapshot).
+func (v *batchView) renderSpots(bucket int, label func(spot, slot int) core.QueueType) []byte {
+	out := make([]spotJSON, len(v.spotMeta))
+	copy(out, v.spotMeta)
+	for i := range out {
+		if bucket >= v.grid.Slots {
+			out[i].Context = core.Unidentified.String()
+		} else {
+			out[i].Context = label(i, bucket).String()
+		}
+	}
+	return encodeJSON(out)
+}
+
+// contextJSON is the wire format of one (spot, slot) cell on /context: the
+// classified context plus the §5.2 features behind it. Final reports
+// whether the cell can still change (always true in batch mode; in live
+// mode false until every shard's watermark passes the slot).
+type contextJSON struct {
+	Spot    int     `json:"spot"`
+	Context string  `json:"context"`
+	Final   bool    `json:"final"`
+	TWaitS  float64 `json:"t_wait_s"`
+	NArr    float64 `json:"n_arr"`
+	QLen    float64 `json:"q_len"`
+	TDepS   float64 `json:"t_dep_s"`
+	NDep    float64 `json:"n_dep"`
+}
+
+// cellJSON fills one contextJSON from a label + feature pair.
+func cellJSON(spot int, label core.QueueType, f core.SlotFeatures, final bool) contextJSON {
+	return contextJSON{
+		Spot: spot, Context: label.String(), Final: final,
+		TWaitS: f.TWait.Seconds(), NArr: f.NArr, QLen: f.QLen,
+		TDepS: f.TDep.Seconds(), NDep: f.NDep,
+	}
+}
+
+// renderContext encodes the batch-mode /context body for one slot bucket.
+func (v *batchView) renderContext(bucket int) []byte {
+	out := make([]contextJSON, len(v.result.Spots))
+	for i := range v.result.Spots {
+		sa := &v.result.Spots[i]
+		label, feats := core.Unidentified, core.SlotFeatures{}
+		if bucket < len(sa.Labels) {
+			label = sa.Labels[bucket]
+		}
+		if bucket < len(sa.Features) {
+			feats = sa.Features[bucket]
+		}
+		out[i] = cellJSON(i, label, feats, bucket < v.grid.Slots)
+	}
+	return encodeJSON(out)
+}
+
+// server owns the published batch view and the per-endpoint response
+// caches. There is no mutex anywhere on the read path: recompute publishes
+// a fresh *batchView, handlers load it once, and the caches invalidate on
+// pointer identity.
+type server struct {
+	view atomic.Pointer[batchView]
+
+	spotsCache   *renderCache
+	contextCache *renderCache
+}
+
+// newServer wires the response caches to reg (obs.Default in the binary,
+// private registries in tests).
+func newServer(reg *obs.Registry) *server {
+	return &server{
+		spotsCache:   newRenderCache(reg, "spots"),
+		contextCache: newRenderCache(reg, "context"),
+	}
+}
+
+// recompute runs the nightly batch analysis and publishes the result as a
+// fresh immutable view.
+func (s *server) recompute(seed int64, scale float64, minPts int) error {
+	city := s.city()
+	if city == nil {
+		city = citymap.Generate(seed, scale)
+	}
+	out := sim.Run(sim.Config{Seed: seed, City: city, InjectFaults: true})
+	cleaned, _ := clean.Clean(out.Records, clean.Config{ValidFrame: citymap.Island})
+	cfg := core.DefaultEngineConfig()
+	cfg.Detector.Cluster = cluster.Params{EpsMeters: 15, MinPoints: minPts}
+	engine, err := core.NewEngine(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := engine.Analyze(cleaned)
+	if err != nil {
+		return err
+	}
+	s.view.Store(newBatchView(city, res))
+	return nil
+}
+
+// city returns the current view's map (nil before the first recompute).
+func (s *server) city() *citymap.Map {
+	if v := s.view.Load(); v != nil {
+		return v.city
+	}
+	return nil
+}
+
+// result returns the current view's analysis (nil before the first
+// recompute).
+func (s *server) result() *core.Result {
+	if v := s.view.Load(); v != nil {
+		return v.result
+	}
+	return nil
+}
+
+// loadView resolves the request's view and slot bucket, answering 503 /
+// 400 itself when the server is not ready or the timestamp is bad.
+func (s *server) loadView(w http.ResponseWriter, r *http.Request) (*batchView, int, bool) {
+	v := s.view.Load()
+	if v == nil {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return nil, 0, false
+	}
+	at := v.grid.Start.Add(12 * time.Hour)
+	if q := r.URL.Query().Get("at"); q != "" {
+		t, err := time.Parse(time.RFC3339, q)
+		if err != nil {
+			http.Error(w, "bad 'at' timestamp", http.StatusBadRequest)
+			return nil, 0, false
+		}
+		at = t
+	}
+	return v, v.slotBucket(at), true
+}

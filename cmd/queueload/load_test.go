@@ -1,0 +1,145 @@
+package main
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("spots=4,context=2,recommend=1,estimate=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 4 || mix[0].name != "spots" || mix[0].weight != 4 {
+		t.Fatalf("mix = %+v", mix)
+	}
+	if _, err := parseMix("spots=4,teapots=1"); err == nil {
+		t.Fatal("unknown endpoint accepted")
+	}
+	if _, err := parseMix("spots=x"); err == nil {
+		t.Fatal("bad weight accepted")
+	}
+	if _, err := parseMix("spots=0"); err == nil {
+		t.Fatal("all-zero mix accepted")
+	}
+	// Bare names default to weight 1.
+	mix, err = parseMix("spots,estimate")
+	if err != nil || len(mix) != 2 || mix[1].weight != 1 {
+		t.Fatalf("bare mix = %+v, %v", mix, err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lats := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(lats, 0.5); p != 5 {
+		t.Fatalf("p50 = %d", p)
+	}
+	if p := percentile(lats, 1.0); p != 10 {
+		t.Fatalf("max = %d", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Fatalf("empty percentile = %d", p)
+	}
+}
+
+// TestRunClosedLoop drives the whole harness against a stub queued: every
+// endpoint of the mix must be hit, latencies recorded, and the summary
+// consistent.
+func TestRunClosedLoop(t *testing.T) {
+	var hits [4]atomic.Int64 // spots, context, recommend, estimate
+	mux := http.NewServeMux()
+	stub := func(i int) http.HandlerFunc {
+		return func(w http.ResponseWriter, _ *http.Request) {
+			hits[i].Add(1)
+			w.Write([]byte("[]\n"))
+		}
+	}
+	mux.HandleFunc("/spots", stub(0))
+	mux.HandleFunc("/context", stub(1))
+	mux.HandleFunc("/recommend", stub(2))
+	mux.HandleFunc("/estimate", stub(3))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) { w.Write([]byte("ok")) })
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	cfg := defaultConfig()
+	cfg.URL = ts.URL
+	cfg.Duration = 300 * time.Millisecond
+	cfg.Clients = 3
+	cfg.Start = "2026-01-05T00:00:00Z"
+	sum, err := run(cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Mode != "closed" || sum.Clients != 3 {
+		t.Fatalf("summary header = %+v", sum)
+	}
+	total := 0
+	for _, ep := range sum.Endpoints {
+		if ep.Errors != 0 {
+			t.Fatalf("%s: %d errors", ep.Name, ep.Errors)
+		}
+		if ep.Requests > 0 && ep.MaxMs < ep.P50ms {
+			t.Fatalf("%s: max %.3fms < p50 %.3fms", ep.Name, ep.MaxMs, ep.P50ms)
+		}
+		total += ep.Requests
+	}
+	var served int64
+	for i := range hits {
+		if hits[i].Load() == 0 {
+			t.Fatalf("endpoint %d never hit: %+v", i, sum.Endpoints)
+		}
+		served += hits[i].Load()
+	}
+	if int64(total) != served {
+		t.Fatalf("summary counts %d requests, server saw %d", total, served)
+	}
+	if sum.TotalRPS <= 0 {
+		t.Fatalf("total rps %f", sum.TotalRPS)
+	}
+}
+
+// TestRunOpenLoop checks the rate-paced mode stays near its target on a
+// fast stub.
+func TestRunOpenLoop(t *testing.T) {
+	mux := http.NewServeMux()
+	ok := func(w http.ResponseWriter, _ *http.Request) { w.Write([]byte("[]\n")) }
+	for _, p := range []string{"/spots", "/context", "/recommend", "/estimate", "/healthz"} {
+		mux.HandleFunc(p, ok)
+	}
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	cfg := defaultConfig()
+	cfg.URL = ts.URL
+	cfg.Duration = 500 * time.Millisecond
+	cfg.Rate = 200
+	sum, err := run(cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Mode != "open" || sum.RateTarget != 200 {
+		t.Fatalf("summary header = %+v", sum)
+	}
+	total := 0
+	for _, ep := range sum.Endpoints {
+		total += ep.Requests
+	}
+	// ~100 arrivals scheduled; allow generous slack for a loaded CI box.
+	if total < 30 || total > 150 {
+		t.Fatalf("open loop sent %d requests at rate 200 over 0.5s", total)
+	}
+}
+
+func TestRunBadTarget(t *testing.T) {
+	cfg := defaultConfig()
+	cfg.URL = "http://127.0.0.1:1" // nothing listens here
+	cfg.Duration = 50 * time.Millisecond
+	if _, err := run(cfg, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("unreachable target did not error")
+	}
+}

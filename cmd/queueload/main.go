@@ -1,0 +1,59 @@
+// Command queueload is the load-generation harness for the queued read
+// path: it drives a mixed GET workload (spots / context / recommend /
+// estimate) against a running queued instance — closed-loop (a fixed
+// number of always-busy clients) or open-loop (a fixed arrival rate) —
+// and reports per-endpoint throughput and latency percentiles as JSON.
+// With -feed it simultaneously replays a simulated MDT day into /ingest,
+// so the measured read latencies include live snapshot churn.
+//
+// Usage:
+//
+//	queued -addr :8080 -live &
+//	queueload -url http://localhost:8080 -clients 8 -duration 30s \
+//	    -mix spots=4,context=2,recommend=1,estimate=1 -feed
+//
+// Open-loop mode replaces -clients with a target arrival rate:
+//
+//	queueload -url http://localhost:8080 -rate 500 -duration 30s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+)
+
+func main() {
+	cfg := defaultConfig()
+	flag.StringVar(&cfg.URL, "url", cfg.URL, "base URL of the queued instance")
+	flag.DurationVar(&cfg.Duration, "duration", cfg.Duration, "how long to run the workload")
+	flag.IntVar(&cfg.Clients, "clients", cfg.Clients, "closed-loop concurrent clients (ignored when -rate > 0)")
+	flag.Float64Var(&cfg.Rate, "rate", cfg.Rate, "open-loop arrival rate in requests/sec (0 = closed loop)")
+	flag.StringVar(&cfg.Mix, "mix", cfg.Mix, "endpoint weights, e.g. spots=4,context=2,recommend=1,estimate=1")
+	flag.StringVar(&cfg.Start, "start", cfg.Start, "grid start (RFC3339): sweep 'at' over the day's slots instead of the default time")
+	flag.BoolVar(&cfg.Feed, "feed", cfg.Feed, "replay a simulated MDT day into /ingest during the run")
+	flag.Float64Var(&cfg.FeedScale, "feed-scale", cfg.FeedScale, "city scale of the simulated feed day")
+	flag.Int64Var(&cfg.FeedSeed, "feed-seed", cfg.FeedSeed, "seed of the simulated feed day")
+	flag.IntVar(&cfg.FeedBatch, "feed-batch", cfg.FeedBatch, "records per /ingest POST")
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "workload randomness seed")
+	flag.Parse()
+
+	sum, err := run(cfg, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		log.Fatalf("queueload: %v", err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		log.Fatal(err)
+	}
+	for _, ep := range sum.Endpoints {
+		if ep.Errors > 0 {
+			fmt.Fprintf(os.Stderr, "queueload: %s: %d errors\n", ep.Name, ep.Errors)
+			os.Exit(1)
+		}
+	}
+}

@@ -6,7 +6,6 @@ package cluster
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -202,9 +201,7 @@ func SweepParallel(pts []geo.Point, epsMeters []float64, minPts []int, workers i
 			}
 		}
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = capWorkers(workers)
 	out := make([]SweepCell, len(epsMeters)*len(minPts))
 	cell := func(row, col int, idx spatial.Index) {
 		p := Params{EpsMeters: epsMeters[row], MinPoints: minPts[col]}

@@ -14,6 +14,19 @@ import (
 // block cursor) exceeds the clustering cost itself for tiny zones.
 const parallelMinPoints = 512
 
+// capWorkers clamps a worker request to the scheduler's parallelism:
+// workers beyond GOMAXPROCS cannot run simultaneously, so the extra
+// goroutines only add cursor contention and scheduling churn (on a
+// single-core box an 8-worker request measured ~2× slower than
+// sequential before this clamp — see EXPERIMENTS.md). workers <= 0 asks
+// for full parallelism.
+func capWorkers(workers int) int {
+	if p := runtime.GOMAXPROCS(0); workers <= 0 || workers > p {
+		return p
+	}
+	return workers
+}
+
 // DBSCANParallel clusters pts across a worker pool and produces labels
 // byte-identical to the sequential DBSCAN for any worker count.
 //
@@ -39,9 +52,7 @@ func DBSCANParallel(pts []geo.Point, p Params, workers int) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = capWorkers(workers)
 	idx := spatial.NewGrid(pts, p.EpsMeters)
 	if workers == 1 || len(pts) < parallelMinPoints {
 		return run(pts, p, idx), nil
@@ -59,9 +70,7 @@ func DBSCANParallelWithIndex(pts []geo.Point, p Params, idx spatial.Index, worke
 	if idx.Len() != len(pts) {
 		return Result{}, errIndexMismatch(idx.Len(), len(pts))
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = capWorkers(workers)
 	if workers == 1 || len(pts) < parallelMinPoints {
 		return run(pts, p, idx), nil
 	}

@@ -141,10 +141,10 @@ func TestDBSCANParallelBorderTieBreak(t *testing.T) {
 	// sit 18 m apart and stay unlinked.
 	pts := []geo.Point{
 		at(-18), at(-18), // left anchors (borders of cluster 0)
-		at(-9),           // left core
-		at(18), at(18),   // right anchors (borders of cluster 1)
-		at(9),            // right core
-		at(0),            // contested border point
+		at(-9),         // left core
+		at(18), at(18), // right anchors (borders of cluster 1)
+		at(9), // right core
+		at(0), // contested border point
 	}
 	p := Params{EpsMeters: 10, MinPoints: 4}
 	checkAllVariants(t, "border-tie", pts, p)

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
@@ -191,10 +190,7 @@ func (e *Engine) Analyze(recs []mdt.Record) (*Result, error) {
 		}
 	}
 	t0 = time.Now()
-	workers := cfg.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := capWorkers(cfg.Parallelism)
 	if workers == 1 || len(spots) < 2 {
 		for i := range spots {
 			analyzeSpot(i)

@@ -13,14 +13,23 @@ import (
 // per taxi.
 const peaChunk = 16
 
+// capWorkers clamps a worker request to the scheduler's parallelism:
+// workers beyond GOMAXPROCS cannot run simultaneously, so the extra
+// goroutines only add contention and scheduling churn. workers <= 0 asks
+// for full parallelism.
+func capWorkers(workers int) int {
+	if p := runtime.GOMAXPROCS(0); workers <= 0 || workers > p {
+		return p
+	}
+	return workers
+}
+
 // ExtractAllParallel is ExtractAll with the per-taxi PEA fanned out over a
 // worker pool. Results are identical to the sequential version (taxis are
 // independent; output is concatenated in ascending taxi-ID order).
 // workers <= 0 uses GOMAXPROCS.
 func ExtractAllParallel(byTaxi map[string]mdt.Trajectory, speedThresholdKmh float64, workers int) []Pickup {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = capWorkers(workers)
 	ids := sortedTaxiIDs(byTaxi)
 	if workers == 1 || len(ids) < 2*workers {
 		return extractAllSeq(byTaxi, ids, speedThresholdKmh)

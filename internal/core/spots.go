@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 
@@ -54,10 +53,7 @@ func DefaultDetectorConfig() DetectorConfig {
 // ordered by descending pickup count (ties broken by position for
 // determinism).
 func DetectSpots(pickups []Pickup, cfg DetectorConfig) ([]QueueSpot, error) {
-	workers := cfg.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := capWorkers(cfg.Parallelism)
 	pts := make([]geo.Point, len(pickups))
 	for i, p := range pickups {
 		pts[i] = p.Centroid

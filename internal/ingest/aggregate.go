@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"taxiqueue/internal/core"
@@ -12,7 +13,7 @@ import (
 type cellKey struct{ spot, slot int }
 
 // cell is one merged (spot, slot): raw statistics while shards are still
-// closing, then the computed context once first served.
+// closing, then the computed context once first published.
 type cell struct {
 	stats    stream.SlotStats
 	label    core.QueueType
@@ -24,9 +25,16 @@ type cell struct {
 // aggregator merges per-shard slot closings into served contexts. Because
 // stream.SlotStats merging is exact (sums and concatenations, with
 // departure ends re-sorted at feature time), the merged context equals what
-// one engine over the whole fleet would have produced; the Service gates
-// reads on the cross-shard watermark so a cell is only evaluated once no
-// shard can still contribute.
+// one engine over the whole fleet would have produced.
+//
+// Writers (shard workers delivering SlotClosed events and watermark
+// advances) coordinate through mu; readers never touch it. Each time the
+// cross-shard finality watermark advances, the writer that moved it
+// rebuilds an immutable Snapshot of every final cell and swaps it into pub
+// — the RCU publish. The query path is Service.Context/Label, which load
+// pub once and read plain memory; the mutex-guarded path survives as
+// Service.ContextLocked, the reference implementation the equivalence
+// tests and serve benchmarks compare against.
 //
 // Cells exist only for (spot, slot) pairs a shard actually fed: a read of a
 // never-fed pair is served from the per-spot empty context without
@@ -37,6 +45,9 @@ type aggregator struct {
 	ths  []core.Thresholds
 	amp  core.Amplification
 	met  *metrics
+
+	// pub is the RCU-published immutable view; never nil after init().
+	pub atomic.Pointer[Snapshot]
 
 	mu    sync.Mutex
 	cells map[cellKey]*cell
@@ -51,6 +62,14 @@ type emptyCtx struct {
 	feats core.SlotFeatures
 	label core.QueueType
 	done  bool
+}
+
+// init publishes the epoch-1 snapshot covering finalBelow slots (0 for a
+// fresh service; the replayed watermark after WAL recovery).
+func (a *aggregator) init(finalBelow int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.publish(finalBelow)
 }
 
 // add merges every SlotClosed event's raw statistics.
@@ -72,35 +91,32 @@ func (a *aggregator) add(events []stream.Event) {
 	}
 }
 
-// context returns the merged features and label for a final (spot, slot),
-// computing and caching them on first read. A cell with no activity
-// classifies exactly like an empty batch slot — and is served without
-// retaining any per-slot state.
-func (a *aggregator) context(spot, slot int) (core.SlotFeatures, core.QueueType) {
-	k := cellKey{spot, slot}
+// advance republishes if the cross-shard watermark moved past the current
+// snapshot. Called by a shard worker after it raised its own watermark;
+// minClosed is the service-wide minimum at that instant. The re-check
+// under mu makes concurrent advances from racing shards safe: each publish
+// covers at least its own observation, epochs stay strictly increasing,
+// and a conservative (older) minClosed just publishes nothing.
+func (a *aggregator) advance(minClosed int) {
+	if minClosed > a.grid.Slots {
+		minClosed = a.grid.Slots
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	c := a.cells[k]
-	if c == nil {
-		e := &a.empty[spot]
-		if !e.done {
-			var zero stream.SlotStats
-			e.feats = zero.Features(a.grid.SlotLen, a.amp)
-			e.label = core.Classify([]core.SlotFeatures{e.feats}, a.ths[spot])[0]
-			e.done = true
-		}
-		return e.feats, e.label
+	if minClosed <= a.pub.Load().FinalBelow {
+		return
 	}
-	if !c.done {
-		c.feats = c.stats.Features(a.grid.SlotLen, a.amp)
-		c.label = core.Classify([]core.SlotFeatures{c.feats}, a.ths[spot])[0]
-		c.stats = stream.SlotStats{} // raw stats are spent
-		c.done = true
-		if a.met != nil && !c.closedAt.IsZero() {
-			a.met.serveLag.Since(c.closedAt)
-		}
-	}
-	return c.feats, c.label
+	a.publish(minClosed)
+}
+
+// context returns the merged features and label for a final (spot, slot),
+// computing and caching them on first read — the pre-snapshot locked read
+// path, retained as the reference implementation.
+func (a *aggregator) context(spot, slot int) (core.SlotFeatures, core.QueueType) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c := a.contextLocked(spot, slot, time.Now())
+	return c.Features, c.Label
 }
 
 // cellCount is the ingest_aggregator_cells gauge read.

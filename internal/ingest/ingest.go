@@ -162,6 +162,10 @@ type Service struct {
 	agg    *aggregator
 	met    *metrics
 
+	// estVersion counts provisional (current-slot) publications across all
+	// shards; the serve-side estimate cache keys on it.
+	estVersion atomic.Uint64
+
 	// closed gates Accept (lock-free fast path); ctlMu + stopped gate the
 	// control plane: a control op holds the read side while its workers
 	// are guaranteed alive, Close/Abort take the write side to stop them.
@@ -213,6 +217,11 @@ func NewService(cfg Config) (*Service, error) {
 			log.Printf("ingest: swept %d stale checkpoint temp file(s) from %s", len(removed), cfg.WALDir)
 		}
 	}
+	// Publish the epoch-1 snapshot before the shards exist so a replayed
+	// WAL (whose ingest path republishes on watermark advances) never sees
+	// a nil pointer; the replay then advances it to cover every slot it
+	// finalized.
+	s.agg.init(0)
 	s.shards = make([]*shard, cfg.Shards)
 	for i := range s.shards {
 		sh, err := newShard(s, i)
@@ -221,9 +230,13 @@ func NewService(cfg Config) (*Service, error) {
 		}
 		s.shards[i] = sh
 	}
+	s.agg.advance(s.minClosed())
 	cfg.Metrics.GaugeFunc("ingest_aggregator_cells",
 		"Live (spot, slot) cells retained by the aggregator.",
 		func() float64 { return float64(s.agg.cellCount()) })
+	cfg.Metrics.GaugeFunc("ingest_snapshot_age_seconds",
+		"Seconds since the current read snapshot was published.",
+		func() float64 { return time.Since(s.Snapshot().At).Seconds() })
 	for i, sh := range s.shards {
 		ch := sh.ch
 		cfg.Metrics.GaugeFunc("ingest_queue_depth", "Records waiting in the shard queue.",
@@ -396,11 +409,32 @@ func (s *Service) minClosed() int {
 	return min
 }
 
+// Snapshot returns the current RCU-published read view: one atomic pointer
+// load, never nil, immutable. Handlers that make several related reads
+// (every spot of one slot, say) should load it once and read through it so
+// all answers come from one consistent epoch.
+func (s *Service) Snapshot() *Snapshot { return s.agg.pub.Load() }
+
 // Context returns the merged features and label for (spot, slot); ok is
 // false while any shard could still contribute to the slot (or the indexes
 // are out of range). A final slot with no activity classifies like an
-// empty batch slot.
+// empty batch slot. Lock-free: one snapshot pointer load plus an array
+// read.
 func (s *Service) Context(spot, slot int) (core.SlotFeatures, core.QueueType, bool) {
+	return s.Snapshot().Context(spot, slot)
+}
+
+// Label is Context without the features.
+func (s *Service) Label(spot, slot int) (core.QueueType, bool) {
+	_, l, ok := s.Context(spot, slot)
+	return l, ok
+}
+
+// ContextLocked is the pre-snapshot read path — watermark gate plus a
+// mutex-guarded lazy cell evaluation — retained as the reference
+// implementation the equivalence tests and the BenchmarkServe* baselines
+// compare the lock-free path against. Not for production handlers.
+func (s *Service) ContextLocked(spot, slot int) (core.SlotFeatures, core.QueueType, bool) {
 	if spot < 0 || spot >= len(s.cfg.Stream.Spots) || slot < 0 || slot >= s.grid.Slots {
 		return core.SlotFeatures{}, core.Unidentified, false
 	}
@@ -411,11 +445,64 @@ func (s *Service) Context(spot, slot int) (core.SlotFeatures, core.QueueType, bo
 	return f, l, true
 }
 
-// Label is Context without the features.
-func (s *Service) Label(spot, slot int) (core.QueueType, bool) {
-	_, l, ok := s.Context(spot, slot)
-	return l, ok
+// Estimate is the zero-delay provisional view of the slot the feed's clock
+// is currently inside, merged exactly across the per-shard provisional
+// snapshots (SlotStats merging is commutative and exact). Version is the
+// publication counter the serve-side cache keys on; Slot is -1 when no
+// shard has a clock inside the grid. Labels[i] is spot i's extrapolated
+// context and OK[i] reports whether there was enough signal (≥20% of the
+// slot elapsed and any activity). Lock-free: per-shard atomic pointer
+// loads, merge work proportional to the active spots of one slot.
+type Estimate struct {
+	Version uint64
+	AsOf    time.Time
+	Slot    int
+	Labels  []core.QueueType
+	OK      []bool
 }
+
+// Estimate builds the current provisional estimate. The version is read
+// before the shard snapshots, so a publication racing the build at worst
+// causes the next request to rebuild — never a stale cache past its epoch.
+func (s *Service) Estimate() Estimate {
+	est := Estimate{
+		Version: s.estVersion.Load(),
+		Slot:    -1,
+		Labels:  make([]core.QueueType, len(s.cfg.Stream.Spots)),
+		OK:      make([]bool, len(s.cfg.Stream.Spots)),
+	}
+	for i := range est.Labels {
+		est.Labels[i] = core.Unidentified
+	}
+	provs := make([]*stream.Provisional, 0, len(s.shards))
+	for _, sh := range s.shards {
+		if p := sh.prov.Load(); p != nil {
+			provs = append(provs, p)
+			if p.Clock.After(est.AsOf) {
+				est.AsOf = p.Clock
+				est.Slot = p.Slot
+			}
+		}
+	}
+	if est.Slot < 0 {
+		return est
+	}
+	for spot := range est.Labels {
+		var merged stream.SlotStats
+		for _, p := range provs {
+			if p.Slot == est.Slot && p.Stats != nil && p.Stats[spot] != nil {
+				merged.Merge(p.Stats[spot])
+			}
+		}
+		est.Labels[spot], est.OK[spot] = stream.EstimateFromStats(
+			&merged, s.grid, est.Slot, est.AsOf, s.cfg.Stream.Amplify, s.cfg.Stream.Thresholds[spot])
+	}
+	return est
+}
+
+// EstimateVersion returns the provisional publication counter without
+// building an estimate — the cache's cheap freshness probe.
+func (s *Service) EstimateVersion() uint64 { return s.estVersion.Load() }
 
 // ShardStats is one shard's counters.
 type ShardStats struct {

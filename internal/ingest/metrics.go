@@ -25,6 +25,11 @@ type metrics struct {
 	httpReqs   map[int]*obs.Counter // ingest_http_requests_total{code}
 	badRecords *obs.Counter         // ingest_bad_records_total
 
+	// Snapshot (RCU read path) series: epoch churn and the published
+	// finality watermark. Snapshot age is a GaugeFunc in NewService.
+	snapshotEpochs *obs.Counter // ingest_snapshot_epochs_total
+	snapshotFinal  *obs.Gauge   // ingest_snapshot_final_below
+
 	// removed{reason} breaks rejections down by cause across all shards.
 	removedGPS      *obs.Counter
 	removedDup      *obs.Counter
@@ -63,6 +68,9 @@ func newMetrics(reg *obs.Registry, shards int) *metrics {
 		serveLag:  reg.Histogram("ingest_slot_serve_lag_seconds", "Lag from a (spot, slot) cell first closing in a shard to its first read.", obs.DefBuckets),
 
 		badRecords: reg.Counter("ingest_bad_records_total", "Wire payloads or lines that failed to decode."),
+
+		snapshotEpochs: reg.Counter("ingest_snapshot_epochs_total", "Read-snapshot publications (RCU pointer swaps)."),
+		snapshotFinal:  reg.Gauge("ingest_snapshot_final_below", "Finality watermark of the published read snapshot."),
 
 		removedGPS:      reg.Counter("ingest_removed_total", "Records removed before the engine, by reason.", obs.Label{Name: "reason", Value: "gps_outlier"}),
 		removedDup:      reg.Counter("ingest_removed_total", "Records removed before the engine, by reason.", obs.Label{Name: "reason", Value: "duplicate"}),

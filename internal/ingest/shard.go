@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"taxiqueue/internal/clean"
@@ -83,6 +84,11 @@ type shard struct {
 	met       *metrics
 	sm        *shardMetrics
 	sinceStat int // records since the engine gauges were refreshed
+	lastWM    int // engine watermark at the last emit (publish trigger)
+
+	// prov is this shard's published provisional (current-slot) snapshot;
+	// the worker stores, Service.Estimate loads.
+	prov atomic.Pointer[stream.Provisional]
 
 	nextCkpt int64 // wal_pending level that triggers the next auto checkpoint
 
@@ -359,21 +365,33 @@ func (sh *shard) ingest(r mdt.Record) {
 	sh.emit(sh.engine.Ingest(r))
 }
 
-// emit forwards slot closings to the aggregator and refreshes the shard's
-// finality watermark.
+// emit forwards slot closings to the aggregator, refreshes the shard's
+// finality watermark, and — when this shard's watermark actually moved —
+// asks the aggregator to republish the read snapshot. The order matters:
+// cells are merged before the watermark rises, and every shard's own
+// watermark is set before it reads the cross-shard minimum, so the publish
+// that observes the final minimum always sees every contributing cell.
 func (sh *shard) emit(events []stream.Event) {
 	if len(events) > 0 {
 		sh.svc.agg.add(events)
 	}
-	sh.sm.watermark.Set(int64(sh.engine.Closed()))
+	wm := sh.engine.Closed()
+	sh.sm.watermark.Set(int64(wm))
+	if wm != sh.lastWM {
+		sh.lastWM = wm
+		sh.svc.agg.advance(sh.svc.minClosed())
+	}
 }
 
-// refreshEngineGauges publishes the engine-introspection gauges; O(spots),
-// so it runs every engineGaugeEvery records and after each control op.
+// refreshEngineGauges publishes the engine-introspection gauges and this
+// shard's provisional current-slot snapshot; O(spots), so it runs every
+// engineGaugeEvery records and after each control op.
 func (sh *shard) refreshEngineGauges() {
 	sh.sinceStat = 0
 	sh.sm.openSlots.Set(int64(sh.engine.OpenSlots()))
 	sh.sm.taxis.Set(int64(sh.engine.TrackedTaxis()))
+	sh.prov.Store(sh.engine.ExportProvisional())
+	sh.svc.estVersion.Add(1)
 }
 
 // checkpoint atomically rewrites the shard's WAL file through the

@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // event is one scheduled simulation action. Events with equal times fire in
 // scheduling order (seq), making runs fully deterministic for a fixed seed.
 type event struct {
@@ -10,23 +8,58 @@ type event struct {
 	fn  func()
 }
 
+// eventHeap is a binary min-heap over (at, seq), specialized to the event
+// type. container/heap moves elements as `any`, which boxes every event on
+// Push and again on Pop — two heap allocations per scheduled event, the
+// dominant allocation source of a simulated day — so the sift loops are
+// written out here and events move by value.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// push inserts e, sifting it up to its ordered position.
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	hh := *h
+	i := len(hh) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !hh.less(i, parent) {
+			break
+		}
+		hh[i], hh[parent] = hh[parent], hh[i]
+		i = parent
+	}
 }
 
-var _ heap.Interface = (*eventHeap)(nil)
+// pop removes and returns the earliest event. Callers must check len > 0.
+func (h *eventHeap) pop() event {
+	hh := *h
+	n := len(hh) - 1
+	top := hh[0]
+	hh[0] = hh[n]
+	hh[n] = event{} // drop the fn reference so the closure can be collected
+	*h = hh[:n]
+	hh = hh[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && hh.less(r, c) {
+			c = r
+		}
+		if !hh.less(c, i) {
+			break
+		}
+		hh[i], hh[c] = hh[c], hh[i]
+		i = c
+	}
+	return top
+}

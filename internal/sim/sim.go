@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -162,6 +161,9 @@ func New(cfg Config) *Sim {
 	meanIntervalSec := (cfg.RoamLogIntervalSec + cfg.TripLogIntervalSec) / 2
 	est := int(float64(cfg.NumTaxis) * cfg.ObservedFraction * cfg.Duration.Seconds() / meanIntervalSec)
 	s.recs = make([]mdt.Record, 0, est)
+	// The pending-event set is bounded by a few events per taxi plus the
+	// spot arrival processes; one up-front slab absorbs the heap's growth.
+	s.events = make(eventHeap, 0, 4*cfg.NumTaxis+64)
 	s.initTaxis()
 	s.initSpots()
 	return s
@@ -174,9 +176,8 @@ func Run(cfg Config) Output {
 }
 
 func (s *Sim) run() Output {
-	heap.Init(&s.events)
 	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(event)
+		e := s.events.pop()
 		at := time.Unix(0, e.at).UTC()
 		if at.After(s.end) {
 			break
@@ -206,7 +207,7 @@ func (s *Sim) schedule(t time.Time, fn func()) {
 		return
 	}
 	s.seq++
-	heap.Push(&s.events, event{at: t.UnixNano(), seq: s.seq, fn: fn})
+	s.events.push(event{at: t.UnixNano(), seq: s.seq, fn: fn})
 }
 
 // after schedules fn d from now.

@@ -137,6 +137,7 @@ type Live struct {
 	taxis   map[string]*peaState
 	accs    []map[int]*SlotStats // per spot: open slots
 	closed  int                  // all slots below this are final everywhere
+	clock   time.Time            // newest record time seen (the feed's clock)
 	buf     []int
 }
 
@@ -170,6 +171,9 @@ func NewLive(cfg Config) *Live {
 // triggered.
 func (l *Live) Ingest(rec mdt.Record) []Event {
 	var events []Event
+	if rec.Time.After(l.clock) {
+		l.clock = rec.Time
+	}
 	// Finalize slots the clock has moved safely past (one-slot lag). A
 	// record beyond the grid's end finalizes everything: without this the
 	// day's last slots stayed provisional forever once the feed's clock
@@ -335,19 +339,73 @@ func (l *Live) CurrentEstimate(spot int, now time.Time) (core.QueueType, bool) {
 		return core.Unidentified, false
 	}
 	acc := l.accs[spot][j]
+	if acc == nil {
+		return core.Unidentified, false
+	}
+	return EstimateFromStats(acc, l.cfg.Grid, j, now, l.cfg.Amplify, l.cfg.Thresholds[spot])
+}
+
+// EstimateFromStats extrapolates a partial slot accumulator to a full-slot
+// provisional context: partial counts are scaled by the slot share elapsed
+// at `now`. ok is false for an empty accumulator or when less than 20% of
+// the slot has elapsed (too little signal to extrapolate). Shared by
+// Live.CurrentEstimate and the sharded ingest service, whose per-shard
+// accumulators merge exactly before estimation.
+func EstimateFromStats(acc *SlotStats, grid core.SlotGrid, slot int, now time.Time, amp core.Amplification, th core.Thresholds) (core.QueueType, bool) {
 	if acc == nil || acc.Empty() {
 		return core.Unidentified, false
 	}
-	from, _ := l.cfg.Grid.Bounds(j)
+	from, _ := grid.Bounds(slot)
 	elapsed := now.Sub(from).Seconds()
-	slotSec := l.cfg.Grid.SlotLen.Seconds()
+	slotSec := grid.SlotLen.Seconds()
 	if elapsed < 0.2*slotSec {
 		return core.Unidentified, false
 	}
-	f := acc.Features(l.cfg.Grid.SlotLen, l.cfg.Amplify)
+	f := acc.Features(grid.SlotLen, amp)
 	scale := slotSec / elapsed
 	f.NArr *= scale
 	f.NDep *= scale
 	f.QLen *= scale
-	return core.Classify([]core.SlotFeatures{f}, l.cfg.Thresholds[spot])[0], true
+	return core.Classify([]core.SlotFeatures{f}, th)[0], true
+}
+
+// Provisional is an immutable export of the engine's still-open state for
+// the slot its feed clock is currently inside: one cloned accumulator per
+// spot (nil when the spot has no activity yet) plus the clock itself.
+// Sharded ingestion publishes one Provisional per shard on a cadence and
+// merges them — SlotStats merging is exact — to serve zero-delay estimates
+// without touching any engine's goroutine state.
+type Provisional struct {
+	// Clock is the newest record time this engine has seen.
+	Clock time.Time
+	// Slot is the grid slot containing Clock; -1 outside the grid.
+	Slot int
+	// Stats holds one cloned accumulator per spot (indexed like
+	// Config.Spots); nil entries saw no activity in Slot.
+	Stats []*SlotStats
+}
+
+// ExportProvisional snapshots the current slot's accumulators. Same
+// single-goroutine discipline as Ingest: only the owning goroutine may
+// call it, but the returned value is a deep clone safe to publish to
+// concurrent readers.
+func (l *Live) ExportProvisional() *Provisional {
+	p := &Provisional{Clock: l.clock, Slot: -1}
+	if l.clock.IsZero() {
+		return p
+	}
+	j := l.cfg.Grid.Index(l.clock)
+	if j < 0 {
+		return p
+	}
+	p.Slot = j
+	p.Stats = make([]*SlotStats, len(l.accs))
+	for spot := range l.accs {
+		if acc := l.accs[spot][j]; acc != nil && !acc.Empty() {
+			cl := *acc
+			cl.DepEnds = append([]time.Time(nil), acc.DepEnds...)
+			p.Stats[spot] = &cl
+		}
+	}
+	return p
 }

@@ -4,7 +4,7 @@
 # race-tests the concurrent packages.
 #
 # Usage:
-#   scripts/bench.sh                 # default: BENCH_OUT=BENCH_PR2.json
+#   scripts/bench.sh                 # default: BENCH_OUT=BENCH_PR5.json
 #   BENCHTIME=3x scripts/bench.sh    # more iterations per benchmark
 #   BENCH_OUT=after.json scripts/bench.sh
 #
@@ -13,7 +13,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${BENCH_OUT:-BENCH_PR2.json}"
+out="${BENCH_OUT:-BENCH_PR5.json}"
 benchtime="${BENCHTIME:-1x}"
 raw="$(mktemp /tmp/bench_raw.XXXXXX.txt)"
 
@@ -29,6 +29,13 @@ ingest_benchtime="${INGEST_BENCHTIME:-200000x}"
 echo ">> go test -bench BenchmarkIngest -benchmem -benchtime $ingest_benchtime ./internal/ingest"
 go test -run '^$' -bench 'BenchmarkIngest' -benchmem \
 	-benchtime "$ingest_benchtime" -timeout 45m ./internal/ingest | tee -a "$raw"
+
+# Snapshot serving: cached read path vs the locked baseline, served
+# concurrently with a live feed (the PR 5 ≥5x criterion).
+serve_benchtime="${SERVE_BENCHTIME:-5000x}"
+echo ">> go test -bench BenchmarkServe -benchmem -benchtime $serve_benchtime ./cmd/queued"
+go test -run '^$' -bench 'BenchmarkServe' -benchmem \
+	-benchtime "$serve_benchtime" -timeout 45m ./cmd/queued | tee -a "$raw"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 BEGIN { n = 0 }
@@ -63,6 +70,28 @@ END { print "" }
 } > "$out"
 rm -f /tmp/bench_body.$$
 echo ">> wrote $out"
+
+# queueload smoke: boot a live queued instance and drive a short mixed
+# read+ingest load through it; fails if any endpoint returns errors.
+smoke_addr="${QUEUELOAD_ADDR:-127.0.0.1:18131}"
+smoke_dur="${QUEUELOAD_DURATION:-3s}"
+echo ">> queueload smoke ($smoke_dur against $smoke_addr)"
+bin="$(mktemp -d /tmp/bench_bin.XXXXXX)"
+go build -o "$bin/queued" ./cmd/queued
+go build -o "$bin/queueload" ./cmd/queueload
+"$bin/queued" -addr "$smoke_addr" -scale 0.05 -minpts 25 -live -shards 2 &
+queued_pid=$!
+trap 'kill "$queued_pid" 2>/dev/null || true; rm -rf "$bin"' EXIT
+for i in $(seq 1 100); do
+	if curl -fsS "http://$smoke_addr/healthz" >/dev/null 2>&1; then break; fi
+	sleep 0.2
+done
+"$bin/queueload" -url "http://$smoke_addr" -duration "$smoke_dur" \
+	-clients 4 -feed -feed-scale 0.05
+kill "$queued_pid" 2>/dev/null || true
+wait "$queued_pid" 2>/dev/null || true
+trap 'rm -rf "$bin"' EXIT
+echo ">> queueload smoke clean"
 
 echo ">> go test -race ./internal/cluster ./internal/core ./internal/ingest ./internal/obs ./internal/stream"
 go test -race -count=1 ./internal/cluster ./internal/core ./internal/ingest ./internal/obs ./internal/stream

@@ -21,6 +21,6 @@ echo ">> go test -race (concurrent packages)"
 go test -race -count=1 \
 	./internal/chaos ./internal/cluster ./internal/core \
 	./internal/feedclient ./internal/ingest ./internal/obs \
-	./internal/store ./internal/stream ./cmd/queued
+	./internal/store ./internal/stream ./cmd/queued ./cmd/queueload
 
 echo ">> all checks clean"
