@@ -55,6 +55,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	scale := flag.Float64("scale", 1.0, "city scale (1.0 = ~190 landmarks)")
 	taxis := flag.Int("taxis", 0, "fleet size (0 = sized to the city)")
+	surge := flag.Int("surge", 1, "fleet multiplier: replay a demand-shock day (10 = the 10x airport-surge scenario)")
 	duration := flag.Duration("duration", 24*time.Hour, "simulated duration")
 	date := flag.String("date", "2026-01-05", "start date (YYYY-MM-DD, midnight)")
 	faults := flag.Bool("faults", true, "inject the §6.1.1 error modes")
@@ -98,11 +99,26 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if *surge < 1 {
+		log.Fatalf("bad -surge %d: the multiplier must be >= 1", *surge)
+	}
+	fleet := *taxis
+	if *surge > 1 {
+		// The surge scenario multiplies whatever fleet would have run: the
+		// explicit -taxis value, or the city-sized default — same seed, same
+		// city, just N times the taxis, so a surge day is exactly
+		// reproducible and directly comparable to its 1x baseline.
+		if fleet == 0 {
+			fleet = sim.DefaultFleet(city)
+		}
+		fleet *= *surge
+		fmt.Fprintf(os.Stderr, "mdtgen: surge x%d: %d taxis\n", *surge, fleet)
+	}
 	res := sim.Run(sim.Config{
 		Seed:         *seed,
 		Start:        start.UTC(),
 		Duration:     *duration,
-		NumTaxis:     *taxis,
+		NumTaxis:     fleet,
 		City:         city,
 		InjectFaults: *faults,
 	})

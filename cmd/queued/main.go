@@ -167,7 +167,9 @@ func main() {
 	queueDepth := flag.Int("queue", 1024, "live mode: per-shard queue depth")
 	bp := flag.String("bp", "block", "live mode: backpressure policy, block|drop-oldest")
 	walDir := flag.String("wal", "", "live mode: WAL directory (empty = durability off)")
-	checkpoint := flag.Int("checkpoint", 4096, "live mode: records between WAL checkpoints")
+	checkpoint := flag.Int("checkpoint", 4096, "live mode: records between WAL checkpoints (segment seals)")
+	syncEvery := flag.Int("sync-every", 0, "live mode: WAL group-commit batch in records, the crash-loss window (0 = default)")
+	segmentBytes := flag.Int64("segment-bytes", 0, "live mode: WAL segment rotation size in bytes (0 = default 4MiB)")
 	withPprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof")
 	flag.Parse()
 
@@ -200,6 +202,8 @@ func main() {
 			Policy:          policy,
 			WALDir:          *walDir,
 			CheckpointEvery: *checkpoint,
+			SyncEvery:       *syncEvery,
+			SegmentBytes:    *segmentBytes,
 			Metrics:         obs.Default, // one process-wide /metrics scrape
 		})
 		if err != nil {

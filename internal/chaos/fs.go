@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"os"
+	"sync/atomic"
 
 	"taxiqueue/internal/store"
 )
@@ -21,6 +22,14 @@ func (f *Faults) FS(base store.FS) store.FS {
 type fsys struct {
 	base store.FS
 	f    *Faults
+}
+
+func (s *fsys) Create(name string) (store.File, error) {
+	fl, err := s.base.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &file{File: fl, f: s.f}, nil
 }
 
 func (s *fsys) CreateTemp(dir, pattern string) (store.File, error) {
@@ -43,15 +52,16 @@ func (s *fsys) Remove(name string) error { return s.base.Remove(name) }
 // file is one fault-injecting WAL temp file. Once a silent torn fault
 // fires, every later write (and sync) pretends to succeed while writing
 // nothing — the file on disk stays a clean prefix, exactly the torn tail a
-// crash after an unsynced rename leaves behind.
+// crash after an unsynced rename leaves behind. dead is atomic because the
+// WAL's group-commit syncer calls Sync concurrently with the writer.
 type file struct {
 	store.File
 	f    *Faults
-	dead bool
+	dead atomic.Bool
 }
 
 func (fl *file) Write(b []byte) (int, error) {
-	if fl.dead {
+	if fl.dead.Load() {
 		return len(b), nil
 	}
 	if fl.f.hit("fs_short_write", fl.f.cfg.ShortWriteProb) {
@@ -59,7 +69,7 @@ func (fl *file) Write(b []byte) (int, error) {
 		return n, injected("short write")
 	}
 	if fl.f.hit("fs_silent_torn", fl.f.cfg.SilentTornProb) {
-		fl.dead = true
+		fl.dead.Store(true)
 		_, _ = fl.File.Write(b[:fl.f.part(len(b))])
 		return len(b), nil
 	}
@@ -67,7 +77,7 @@ func (fl *file) Write(b []byte) (int, error) {
 }
 
 func (fl *file) Sync() error {
-	if fl.dead {
+	if fl.dead.Load() {
 		return nil
 	}
 	if fl.f.hit("fs_sync_err", fl.f.cfg.SyncErrProb) {

@@ -1,0 +1,180 @@
+package chaos
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"taxiqueue/internal/geo"
+	"taxiqueue/internal/mdt"
+	"taxiqueue/internal/store"
+)
+
+// walRec builds the i-th record of a deterministic single-taxi feed.
+func walRec(i int) mdt.Record {
+	base := time.Date(2026, 1, 5, 6, 0, 0, 0, time.UTC)
+	return mdt.Record{
+		Time: base.Add(time.Duration(i) * time.Second), TaxiID: "SH0001A",
+		Pos: geo.Point{Lat: 1.3, Lon: 103.8}, Speed: 30, State: mdt.Free,
+	}
+}
+
+// sealedBytes snapshots every sealed segment file in dir by content.
+func sealedBytes(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte)
+	for _, e := range ents {
+		if !strings.HasPrefix(e.Name(), "seg-") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = b
+	}
+	return out
+}
+
+// TestWALGroupCommitRetriesInjectedFaults: short writes, fsync errors and
+// rename failures hammer the group-commit and seal paths, yet no appended
+// record is ever lost — a failed commit keeps the unwritten suffix
+// buffered and the next attempt continues from the exact byte the disk
+// actually took. Once the disk heals, one clean commit makes everything
+// durable.
+func TestWALGroupCommitRetriesInjectedFaults(t *testing.T) {
+	dir := t.TempDir()
+	f := New(Config{Seed: 9, ShortWriteProb: 0.4, SyncErrProb: 0.4, RenameErrProb: 0.4})
+	wal, _, err := store.OpenWAL(dir, store.WALConfig{FS: f.FS(nil)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 2000
+	faults := 0
+	for i := 0; i < total; i++ {
+		if err := wal.Append(walRec(i)); err != nil {
+			faults++ // a failed size-triggered seal; the segment keeps growing
+		}
+		if i%64 == 63 {
+			if err := wal.Commit(); err != nil {
+				faults++
+			}
+		}
+		if i%500 == 499 {
+			if err := wal.Seal(); err != nil {
+				faults++
+			}
+		}
+	}
+	if faults == 0 || f.Total() == 0 {
+		t.Fatalf("fault plan injected nothing (returned %d errors, drew %d faults)", faults, f.Total())
+	}
+	// The disk heals: one commit covers everything still buffered.
+	f.SetEnabled(false)
+	if err := wal.Commit(); err != nil {
+		t.Fatalf("commit on a healed disk: %v", err)
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []mdt.Record
+	w2, rec, err := store.OpenWAL(dir, store.WALConfig{}, func(r mdt.Record) { got = append(got, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if rec.Truncated() {
+		t.Fatalf("log torn after clean close: %v", rec.Err)
+	}
+	if len(got) != total {
+		t.Fatalf("replayed %d records, appended %d through a faulty disk", len(got), total)
+	}
+	for i := range got {
+		if !got[i].Equal(walRec(i)) {
+			t.Fatalf("record %d corrupted by retried commits", i)
+		}
+	}
+}
+
+// TestWALSilentTornTailRecoversCleanPrefix: a lying disk acknowledges a
+// group commit but persists only a prefix — the crash-consistency case the
+// last-segment tolerance exists for. Recovery resumes from the clean
+// prefix and never touches the sealed segments, byte for byte.
+func TestWALSilentTornTailRecoversCleanPrefix(t *testing.T) {
+	dir := t.TempDir()
+
+	// A healthy run seals two segments of history.
+	wal, _, err := store.OpenWAL(dir, store.WALConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sealed = 600
+	for i := 0; i < sealed; i++ {
+		if err := wal.Append(walRec(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%300 == 299 {
+			if err := wal.Seal(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before := sealedBytes(t, dir)
+	if len(before) < 2 {
+		t.Fatalf("fixture sealed %d segments, want at least 2", len(before))
+	}
+
+	// The disk starts lying: the next commit is acknowledged but torn.
+	f := New(Config{Seed: 3, SilentTornProb: 1})
+	wal2, rec, err := store.OpenWAL(dir, store.WALConfig{FS: f.FS(nil)}, nil)
+	if err != nil || rec.Truncated() {
+		t.Fatalf("reopen over clean log: err %v, truncated %v", err, rec.Truncated())
+	}
+	const extra = 200
+	for i := sealed; i < sealed+extra; i++ {
+		if err := wal2.Append(walRec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wal2.Commit(); err != nil {
+		t.Fatalf("the lying disk must acknowledge the commit, got %v", err)
+	}
+	if f.Count("fs_silent_torn") == 0 {
+		t.Fatal("torn-write fault never fired")
+	}
+	wal2.Abort() // crash
+
+	// Recovery: a clean prefix of the acknowledged records, full sealed
+	// history, sealed files untouched.
+	n := 0
+	w3, _, err := store.OpenWAL(dir, store.WALConfig{}, func(r mdt.Record) {
+		if !r.Equal(walRec(n)) {
+			t.Fatalf("record %d differs after torn-tail recovery", n)
+		}
+		n++
+	})
+	if err != nil {
+		t.Fatalf("recovery over torn tail: %v", err)
+	}
+	defer w3.Close()
+	if n < sealed || n >= sealed+extra {
+		t.Fatalf("replayed %d records, want the sealed %d plus a proper prefix of the torn %d", n, sealed, extra)
+	}
+	after := sealedBytes(t, dir)
+	for name, b := range before {
+		if !bytes.Equal(after[name], b) {
+			t.Fatalf("sealed segment %s modified by recovery", name)
+		}
+	}
+}

@@ -13,6 +13,12 @@ import (
 // per taxi.
 const peaChunk = 16
 
+// peaSerialWork is the record count below which the PEA fan-out is not
+// worth its setup: spawning workers, the shared cursor and the per-taxi
+// result slices cost more than scanning this many records in place, so
+// smaller inputs take the sequential loop even when workers are available.
+const peaSerialWork = 4096
+
 // capWorkers clamps a worker request to the scheduler's parallelism:
 // workers beyond GOMAXPROCS cannot run simultaneously, so the extra
 // goroutines only add contention and scheduling churn. workers <= 0 asks
@@ -31,7 +37,7 @@ func capWorkers(workers int) int {
 func ExtractAllParallel(byTaxi map[string]mdt.Trajectory, speedThresholdKmh float64, workers int) []Pickup {
 	workers = capWorkers(workers)
 	ids := sortedTaxiIDs(byTaxi)
-	if workers == 1 || len(ids) < 2*workers {
+	if workers == 1 || len(ids) < 2*workers || totalRecords(byTaxi) < peaSerialWork {
 		return extractAllSeq(byTaxi, ids, speedThresholdKmh)
 	}
 	perTaxi := make([][]Pickup, len(ids))
@@ -62,4 +68,14 @@ func ExtractAllParallel(byTaxi map[string]mdt.Trajectory, speedThresholdKmh floa
 		out = append(out, ps...)
 	}
 	return out
+}
+
+// totalRecords sums the trajectory lengths — the actual PEA work size,
+// which taxi count alone misrepresents when trajectories are short.
+func totalRecords(byTaxi map[string]mdt.Trajectory) int {
+	total := 0
+	for _, tr := range byTaxi {
+		total += len(tr)
+	}
+	return total
 }

@@ -23,6 +23,38 @@ func TestExtractAllParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestExtractAllParallelSmallInputTakesSerialPath: a fleet of many taxis
+// with tiny trajectories clears the 2*workers taxi-count gate but not the
+// work threshold — the serial fallback must still produce the sequential
+// result exactly (and, per the threshold's purpose, without the fan-out;
+// correctness is what is asserted here).
+func TestExtractAllParallelSmallInputTakesSerialPath(t *testing.T) {
+	day := simDay(t)
+	byTaxi := mdt.SplitByTaxi(day.cleaned)
+	small := make(map[string]mdt.Trajectory, len(byTaxi))
+	total := 0
+	for id, tr := range byTaxi {
+		if len(tr) > 8 {
+			tr = tr[:8]
+		}
+		small[id] = tr
+		total += len(tr)
+	}
+	if total >= peaSerialWork {
+		t.Skipf("fixture too large to stay under the work threshold: %d records", total)
+	}
+	seq := ExtractAll(small, DefaultSpeedThresholdKmh)
+	par := ExtractAllParallel(small, DefaultSpeedThresholdKmh, 8)
+	if len(par) != len(seq) {
+		t.Fatalf("below-threshold input: %d pickups, sequential %d", len(par), len(seq))
+	}
+	for i := range seq {
+		if len(par[i].Sub) != len(seq[i].Sub) || par[i].Centroid != seq[i].Centroid {
+			t.Fatalf("below-threshold input: pickup %d differs", i)
+		}
+	}
+}
+
 func TestEngineParallelMatchesSequential(t *testing.T) {
 	day := simDay(t)
 	mk := func(workers int) *Result {

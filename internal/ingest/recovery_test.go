@@ -2,6 +2,8 @@ package ingest
 
 import (
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"taxiqueue/internal/mdt"
@@ -75,10 +77,12 @@ func TestCrashRecoveryByteIdentical(t *testing.T) {
 	}
 }
 
-// TestRecoveryLosesOnlyPostCheckpointRecords: records logged after the
-// last checkpoint are gone after a crash — and the stats advertise exactly
-// that exposure beforehand via wal_pending.
-func TestRecoveryLosesOnlyPostCheckpointRecords(t *testing.T) {
+// TestGroupCommitClosesTheDurabilityGap: records appended after the last
+// checkpoint used to be lost in a crash. With group commit the shard
+// worker fsyncs whenever its queue goes idle, so once a drain barrier has
+// passed every logged record is durable — wal_pending reads zero, and a
+// kill -9 right then loses nothing, checkpoint or no checkpoint.
+func TestGroupCommitClosesTheDurabilityGap(t *testing.T) {
 	d := getDay(t)
 	k := len(d.raw) / 3
 	cfg := d.serviceConfig()
@@ -94,12 +98,11 @@ func TestRecoveryLosesOnlyPostCheckpointRecords(t *testing.T) {
 	if err := svc.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	logged := int64(k) - preWALRejected(svc) // what the checkpoint holds
-	rej0 := preWALRejected(svc)
 	// Keep feeding past the checkpoint, then crash.
 	feed(t, svc, d.raw[k:k+2000])
 	// Barrier: a FlushUntil at the grid start closes nothing but only
-	// returns once every queue has drained, so the counters are settled.
+	// returns once every queue has drained — and a drained queue means the
+	// worker's idle-triggered group commit has already fsynced everything.
 	if err := svc.FlushUntil(d.grid.Start); err != nil {
 		t.Fatal(err)
 	}
@@ -107,9 +110,10 @@ func TestRecoveryLosesOnlyPostCheckpointRecords(t *testing.T) {
 	for _, sh := range svc.Stats().Shards {
 		pending += sh.WALPending
 	}
-	if want := 2000 - (preWALRejected(svc) - rej0); pending != want {
-		t.Fatalf("wal_pending %d, want the %d records logged since checkpoint", pending, want)
+	if pending != 0 {
+		t.Fatalf("wal_pending %d after a drain barrier, want 0 (idle group commit)", pending)
 	}
+	logged := int64(k+2000) - preWALRejected(svc) // every ordering-accepted record
 	svc.Abort()
 
 	svc2, err := NewService(cfg)
@@ -118,7 +122,8 @@ func TestRecoveryLosesOnlyPostCheckpointRecords(t *testing.T) {
 	}
 	defer svc2.Close()
 	if got := svc2.Stats().Replayed; got != logged {
-		t.Fatalf("replayed %d, want the %d checkpointed records", got, logged)
+		t.Fatalf("replayed %d, want all %d logged records (including the %d past the checkpoint)",
+			got, logged, 2000)
 	}
 }
 
@@ -199,10 +204,32 @@ func TestDurabilityModesAgreeOnOutOfOrderFeed(t *testing.T) {
 	}
 }
 
-// TestRecoveryTruncatesTornWAL: a WAL with a torn tail (a crash mid-write,
-// or a lying disk) no longer fails startup — the service resumes from the
-// longest clean prefix, counts and reports the truncation, and immediately
-// rewrites the file clean so the damage is not rediscovered forever.
+// newestSegment returns the lexicographically last sealed segment file in
+// shard i's WAL directory — the zero-padded seal-sequence names make that
+// the newest one, the only segment recovery is allowed to truncate.
+func newestSegment(t *testing.T, dir string, shard int) string {
+	t.Helper()
+	ents, err := os.ReadDir(shardWALDir(dir, shard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := ""
+	for _, e := range ents {
+		if name := e.Name(); strings.HasPrefix(name, "seg-") && name > last {
+			last = name
+		}
+	}
+	if last == "" {
+		t.Fatal("no sealed segment to damage")
+	}
+	return filepath.Join(shardWALDir(dir, shard), last)
+}
+
+// TestRecoveryTruncatesTornWAL: a WAL whose newest segment has a torn tail
+// (a crash mid-write, or a lying disk) no longer fails startup — the
+// service resumes from the longest clean prefix, counts and reports the
+// truncation, and immediately rewrites the segment clean so the damage is
+// not rediscovered forever.
 func TestRecoveryTruncatesTornWAL(t *testing.T) {
 	d := getDay(t)
 	dir := t.TempDir()
@@ -214,8 +241,9 @@ func TestRecoveryTruncatesTornWAL(t *testing.T) {
 	if err := svc.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// Truncate shard 0's file mid-payload.
-	path := WALPath(dir, 0)
+	// Tear shard 0's newest segment mid-payload. (Close sealed the active
+	// segment, so the newest sealed file carries the tail of the log.)
+	path := newestSegment(t, dir, 0)
 	b, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -242,7 +270,7 @@ func TestRecoveryTruncatesTornWAL(t *testing.T) {
 	if err := svc2.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// The damaged file was rewritten clean at startup: a second restart
+	// The damaged segment was rewritten clean at startup: a second restart
 	// replays the same prefix with no further truncation.
 	svc3, err := NewService(cfg)
 	if err != nil {
@@ -260,9 +288,10 @@ func TestRecoveryTruncatesTornWAL(t *testing.T) {
 	}
 }
 
-// TestRecoveryRejectsHopelessWAL: tolerance has a floor — a file too
-// damaged to even carry the format header still fails startup loudly
-// instead of silently starting empty over data that may exist elsewhere.
+// TestRecoveryRejectsHopelessWAL: tolerance has a floor — a segment that
+// carries a full-size header with the wrong magic was never written by
+// this WAL, so startup fails loudly instead of silently truncating away
+// data that may exist under a different format.
 func TestRecoveryRejectsHopelessWAL(t *testing.T) {
 	d := getDay(t)
 	dir := t.TempDir()
@@ -273,11 +302,13 @@ func TestRecoveryRejectsHopelessWAL(t *testing.T) {
 	if err := svc.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(WALPath(dir, 0), []byte("not"), 0o644); err != nil {
+	// An active segment with a wrong-magic header (≥ 8 bytes, so it cannot
+	// be a torn creation) must fail the open, not be swept aside.
+	if err := os.WriteFile(WALPath(dir, 0), []byte("not a wal segment!"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := NewService(cfg); err == nil {
-		t.Fatal("service started over a WAL with a destroyed header")
+		t.Fatal("service started over a WAL with a foreign header")
 	}
 }
 

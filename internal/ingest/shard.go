@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -22,9 +24,10 @@ type ctlOp uint8
 const (
 	opFlush      ctlOp = iota // cleaner flush + close every slot + checkpoint
 	opFlushUntil              // close slots final as of msg.at
-	opCheckpoint              // atomic WAL save
+	opCheckpoint              // seal the active WAL segment
 	opStop                    // graceful: opFlush then exit
-	opAbort                   // crash-test: exit immediately, no drain
+	opAbort                   // crash-test: exit immediately, no drain, no commit
+	opDrainUntil              // opFlushUntil minus the durability barrier (benchmarks)
 )
 
 type ctlMsg struct {
@@ -33,11 +36,32 @@ type ctlMsg struct {
 	reply chan error
 }
 
-// queuedRec is one queue element: the record plus its enqueue instant, so
-// the worker can report how long records sit in the shard queue.
-type queuedRec struct {
-	rec mdt.Record
-	at  time.Time
+// slabMax bounds the records in one queued slab: large enough that a bulk
+// feed batch usually travels as a single channel send, small enough that
+// one slab never monopolizes the worker or holds a request's memory alive
+// too long in the pool.
+const slabMax = 1024
+
+// recSlab is a pooled record slice — the unit of queueing. Accept fills
+// one per shard per request (chunked at min(slabMax, QueueDepth)) and the
+// worker returns it to the pool after processing.
+type recSlab struct {
+	recs []mdt.Record
+}
+
+var slabPool = sync.Pool{
+	New: func() any { return &recSlab{recs: make([]mdt.Record, 0, slabMax)} },
+}
+
+func getSlab() *recSlab  { return slabPool.Get().(*recSlab) }
+func putSlab(s *recSlab) { s.recs = s.recs[:0]; slabPool.Put(s) }
+
+// recBatch is one queue element: a slab of records plus the enqueue
+// instant, so the worker can report queue wait once per batch instead of
+// once per record.
+type recBatch struct {
+	slab *recSlab
+	at   time.Time
 }
 
 // engineGaugeEvery is how many processed records pass between refreshes of
@@ -46,19 +70,27 @@ type queuedRec struct {
 const engineGaugeEvery = 256
 
 // shard owns one partition of the fleet: a bounded record queue, a
-// streaming cleaner, a write-ahead store and an online engine. Only the
+// streaming cleaner, a segmented WAL and an online engine. Only the
 // shard's worker goroutine touches the cleaner/engine/WAL; everything the
 // rest of the service reads is an atomic registry collector.
 type shard struct {
 	id  int
 	svc *Service
-	ch  chan queuedRec
+	ch  chan recBatch
 	ctl chan ctlMsg
+
+	// qLen counts the records queued (not slabs): the unit QueueDepth and
+	// the backpressure policies are defined over. Producers reserve space
+	// here before sending; the worker releases it when it picks a batch up.
+	qLen atomic.Int64
+	// space wakes one blocked producer after the worker frees capacity; a
+	// buffered token so a release racing a fresh waiter is never lost.
+	space chan struct{}
 
 	cleaner *clean.Streamer
 	engine  *stream.Live
-	wal     *store.Store // nil when durability is off
-	walPath string
+	wal     *store.WAL // nil when durability is off
+	walDir  string
 
 	// tails enforces the per-taxi time-order rule uniformly: it applies
 	// before the WAL *and* when durability is off, so both modes reject the
@@ -90,7 +122,8 @@ type shard struct {
 	// the worker stores, Service.Estimate loads.
 	prov atomic.Pointer[stream.Provisional]
 
-	nextCkpt int64 // wal_pending level that triggers the next auto checkpoint
+	ckptRecs int64 // records logged since the last successful checkpoint
+	nextCkpt int64 // ckptRecs level that triggers the next auto checkpoint
 
 	done chan struct{}
 }
@@ -114,17 +147,31 @@ func (t *taxiTail) contains(r mdt.Record) bool {
 	return false
 }
 
-// newShard builds shard i, replaying its WAL file if one exists. A damaged
-// WAL — a torn tail from a crash mid-write, or a lying disk — recovers the
-// longest clean prefix instead of failing startup: the service resumes from
-// the last durable byte, the truncation is counted and logged, and the file
-// is immediately rewritten clean.
+// shardWALDir is shard i's segment directory under the service WAL dir.
+func shardWALDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
+}
+
+// legacyWALPath is the single-file TQST2 checkpoint location older versions
+// wrote; newShard migrates it into the segmented log on first start.
+func legacyWALPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d.tqs", i))
+}
+
+// newShard builds shard i, replaying its segmented WAL if one exists. A
+// torn tail on the last segment — what a crash mid-commit leaves — recovers
+// the longest clean prefix instead of failing startup: the service resumes
+// from the last durable byte and the truncation is counted and logged.
+// Damage to an older sealed segment is real corruption and fails loudly. A
+// legacy single-file TQST2 checkpoint is migrated into the segmented format
+// before the first record arrives.
 func newShard(s *Service, i int) (*shard, error) {
 	sh := &shard{
 		id:       i,
 		svc:      s,
-		ch:       make(chan queuedRec, s.cfg.QueueDepth),
+		ch:       make(chan recBatch, s.cfg.QueueDepth),
 		ctl:      make(chan ctlMsg, 4),
+		space:    make(chan struct{}, 1),
 		cleaner:  clean.NewStreamer(s.cfg.Clean),
 		engine:   stream.NewLive(s.cfg.Stream),
 		tails:    make(map[string]*taxiTail),
@@ -136,82 +183,185 @@ func newShard(s *Service, i int) (*shard, error) {
 	if s.cfg.WALDir == "" {
 		return sh, nil
 	}
-	sh.walPath = WALPath(s.cfg.WALDir, i)
-	if _, err := os.Stat(sh.walPath); err == nil {
-		st, rec, err := store.RecoverFile(sh.walPath)
+	sh.walDir = shardWALDir(s.cfg.WALDir, i)
+	sm := sh.sm
+	walCfg := store.WALConfig{
+		FS:           s.cfg.FS,
+		SegmentBytes: s.cfg.SegmentBytes,
+		OnCompact: func(folded int, err error) {
+			if err != nil {
+				log.Printf("ingest: shard %d wal compaction: %v", i, err)
+				return
+			}
+			sm.walCompactions.Inc()
+		},
+		OnSync: func(took time.Duration, err error) {
+			if err != nil {
+				sm.ckptErrors.Inc()
+				log.Printf("ingest: shard %d wal sync: %v", i, err)
+				return
+			}
+			sm.walSyncs.Inc()
+			s.met.walSync.Observe(took.Seconds())
+		},
+	}
+	if _, err := os.Stat(legacyWALPath(s.cfg.WALDir, i)); err == nil {
+		if err := sh.migrateLegacyWAL(walCfg); err != nil {
+			return nil, fmt.Errorf("ingest: shard %d wal migration: %w", i, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("ingest: shard %d wal: %w", i, err)
+	} else {
+		var n int64
+		wal, rec, err := store.OpenWAL(sh.walDir, walCfg, func(r mdt.Record) {
+			sh.trackTail(sh.tails[r.TaxiID], r)
+			sh.pushClean(r)
+			n++
+		})
 		if err != nil {
 			return nil, fmt.Errorf("ingest: shard %d recovery: %w", i, err)
 		}
-		sh.wal = st
-		sh.replay(st)
+		sh.wal = wal
+		sh.sm.replayed.Add(n)
 		if rec.Truncated() {
 			sh.sm.walTruncations.Inc()
-			log.Printf("ingest: shard %d WAL %s damaged (%v): recovered %d records, rewriting clean",
-				i, sh.walPath, rec.Err, rec.Records)
-			if err := sh.checkpoint(); err != nil {
-				// Keep serving from memory; the next checkpoint retries.
-				log.Printf("ingest: shard %d clean rewrite failed: %v", i, err)
-			}
+			log.Printf("ingest: shard %d WAL %s damaged (%v): recovered %d records, torn tail truncated",
+				i, sh.walDir, rec.Err, rec.Records)
 		}
-	} else if os.IsNotExist(err) {
-		sh.wal = store.New()
-	} else {
-		return nil, fmt.Errorf("ingest: shard %d wal: %w", i, err)
 	}
+	sh.sm.walSegments.Set(int64(sh.wal.Stats().Segments))
 	return sh, nil
 }
 
-// replay rebuilds engine and cleaner state from the checkpointed WAL. The
-// WAL holds raw records exactly as accepted (pre-clean), so replaying them
-// through the fresh cleaner and engine re-runs live processing verbatim —
-// including any records the cleaner was still holding at the crash. The
-// recovered state is therefore byte-identical to the pre-checkpoint state
-// at any cut point, not just quiescent ones — and because the per-taxi
-// tail windows are rebuilt too, a client that re-sends records the crash
-// already absorbed is deduplicated exactly.
-func (sh *shard) replay(st *store.Store) {
+// migrateLegacyWAL converts a TQST2 single-file checkpoint into the
+// segmented log: recover it (tolerantly — it may carry a torn tail from the
+// old format's crash window), replay it through the live path, stream every
+// record into a fresh segment directory and seal it durable, and only then
+// remove the legacy file. A crash mid-migration re-runs it from the intact
+// legacy file; the partial segment directory is discarded.
+func (sh *shard) migrateLegacyWAL(walCfg store.WALConfig) error {
+	legacy := legacyWALPath(sh.svc.cfg.WALDir, sh.id)
+	st, rec, err := store.RecoverFile(legacy)
+	if err != nil {
+		return err
+	}
+	if rec.Truncated() {
+		sh.sm.walTruncations.Inc()
+		log.Printf("ingest: shard %d legacy WAL %s damaged (%v): migrating %d recovered records",
+			sh.id, legacy, rec.Err, rec.Records)
+	}
+	if err := os.RemoveAll(sh.walDir); err != nil {
+		return err
+	}
+	wal, _, err := store.OpenWAL(sh.walDir, walCfg, nil)
+	if err != nil {
+		return err
+	}
 	var n int64
 	st.Scan(time.Time{}, time.Unix(1<<40, 0), func(r mdt.Record) bool {
-		sh.trackTail(r)
+		sh.trackTail(sh.tails[r.TaxiID], r)
 		sh.pushClean(r)
+		wal.Append(r)
 		n++
 		return true
 	})
+	if err := wal.Seal(); err != nil {
+		wal.Close()
+		return err
+	}
+	if err := os.Remove(legacy); err != nil {
+		wal.Close()
+		return err
+	}
+	sh.wal = wal
 	sh.sm.replayed.Add(n)
+	log.Printf("ingest: shard %d migrated %d records from legacy WAL %s", sh.id, n, legacy)
+	return nil
 }
 
-// trackTail folds one ordering-accepted record into its taxi's tail
-// window. Callers must already have applied the ordering rule.
-func (sh *shard) trackTail(r mdt.Record) {
+// trackTail folds one ordering-accepted record into its taxi's tail window
+// and returns the (possibly newly created) tail, so batch processing can
+// keep the pointer memoized across a run of same-taxi records. Callers
+// must already have applied the ordering rule, and tail must be the
+// current entry for r.TaxiID (nil when absent).
+func (sh *shard) trackTail(tail *taxiTail, r mdt.Record) *taxiTail {
 	t := r.Time.Unix()
-	tail := sh.tails[r.TaxiID]
 	if tail == nil {
-		sh.tails[r.TaxiID] = &taxiTail{sec: t, recs: []mdt.Record{r}}
-		return
+		tail = &taxiTail{sec: t, recs: []mdt.Record{r}}
+		sh.tails[r.TaxiID] = tail
+		return tail
 	}
 	if t > tail.sec {
 		tail.sec = t
 		tail.recs = append(tail.recs[:0], r)
-		return
+		return tail
 	}
 	tail.recs = append(tail.recs, r)
+	return tail
 }
 
-// offer enqueues under DropOldest: it never blocks, discarding queued
-// records (oldest first) to make room.
-func (sh *shard) offer(r queuedRec) {
+// reserve claims room for n records in the queue; false when the claim
+// would exceed depth. Lock-free so concurrent Accept calls race safely.
+func (sh *shard) reserve(n, depth int64) bool {
 	for {
-		select {
-		case sh.ch <- r:
-			return
-		default:
+		cur := sh.qLen.Load()
+		if cur+n > depth {
+			return false
 		}
-		select {
-		case <-sh.ch:
-			sh.sm.dropped.Inc()
-		default:
+		if sh.qLen.CompareAndSwap(cur, cur+n) {
+			return true
 		}
 	}
+}
+
+// release returns capacity and wakes one blocked producer.
+func (sh *shard) release(n int64) {
+	sh.qLen.Add(-n)
+	select {
+	case sh.space <- struct{}{}:
+	default:
+	}
+}
+
+// deliverBlock enqueues one batch under the Block policy, waiting for queue
+// space up to the shared per-Accept deadline. Because every queued slab
+// holds at least one reserved record and reservations never exceed depth,
+// the channel (depth slabs) always has room once the reservation succeeds.
+func (sh *shard) deliverBlock(b recBatch, deadline *time.Timer) error {
+	n := int64(len(b.slab.recs))
+	depth := int64(sh.svc.cfg.QueueDepth)
+	for {
+		if sh.reserve(n, depth) {
+			sh.ch <- b
+			return nil
+		}
+		select {
+		case <-sh.space:
+		case <-deadline.C:
+			return ErrBackpressure
+		}
+	}
+}
+
+// deliverDrop enqueues one batch under DropOldest: it never blocks,
+// discarding queued batches (oldest first, counted per record) to make
+// room. The momentary gap between another producer's reservation and its
+// send can leave nothing to steal; yield and retry.
+func (sh *shard) deliverDrop(b recBatch) {
+	n := int64(len(b.slab.recs))
+	depth := int64(sh.svc.cfg.QueueDepth)
+	for !sh.reserve(n, depth) {
+		select {
+		case old := <-sh.ch:
+			dropped := int64(len(old.slab.recs))
+			sh.qLen.Add(-dropped)
+			sh.sm.dropped.Add(dropped)
+			putSlab(old.slab)
+		default:
+			time.Sleep(time.Microsecond)
+		}
+	}
+	sh.ch <- b
 }
 
 // run is the worker loop. The select is fair between records and control
@@ -225,14 +375,21 @@ func (sh *shard) run() {
 			hook(sh.id)
 		}
 		select {
-		case rec := <-sh.ch:
-			sh.process(rec)
+		case b := <-sh.ch:
+			sh.take(b)
 		case msg := <-sh.ctl:
 			if sh.handle(msg) {
 				return
 			}
 		}
 	}
+}
+
+// take releases the batch's queue reservation (before processing, so
+// producers refill the queue while the worker chews) and processes it.
+func (sh *shard) take(b recBatch) {
+	sh.release(int64(len(b.slab.recs)))
+	sh.processBatch(b)
 }
 
 // handle runs one control op; true means exit the worker. Every op except
@@ -243,7 +400,7 @@ func (sh *shard) run() {
 func (sh *shard) handle(msg ctlMsg) bool {
 	if msg.op != opAbort {
 		for n := len(sh.ch); n > 0; n-- {
-			sh.process(<-sh.ch)
+			sh.take(<-sh.ch)
 		}
 	}
 	var err error
@@ -254,6 +411,21 @@ func (sh *shard) handle(msg ctlMsg) bool {
 		err = sh.checkpoint()
 	case opFlushUntil:
 		sh.emit(sh.engine.FlushUntil(msg.at))
+		// A FlushUntil doubles as a durability barrier: callers use it to
+		// settle the queue, so everything logged must be on stable storage
+		// (and wal_pending truthful) when the reply lands.
+		if sh.wal != nil {
+			if err := sh.wal.Commit(); err != nil {
+				sh.sm.ckptErrors.Inc()
+				log.Printf("ingest: shard %d wal commit: %v", sh.id, err)
+			}
+			sh.sm.walPending.Set(int64(sh.wal.Pending()))
+		}
+	case opDrainUntil:
+		// The queue-settling half of opFlushUntil without the commit:
+		// benchmarks use it as a pure drain barrier so the per-record
+		// numbers aren't charged a per-flush fsync at an artificial rate.
+		sh.emit(sh.engine.FlushUntil(msg.at))
 	case opCheckpoint:
 		err = sh.checkpoint()
 	case opStop:
@@ -262,6 +434,13 @@ func (sh *shard) handle(msg ctlMsg) bool {
 		exit = true
 	case opAbort:
 		exit = true
+	}
+	if exit && sh.wal != nil {
+		if msg.op == opAbort {
+			sh.wal.Abort()
+		} else if cerr := sh.wal.Close(); err == nil {
+			err = cerr
+		}
 	}
 	sh.refreshEngineGauges()
 	msg.reply <- err
@@ -277,24 +456,52 @@ func (sh *shard) flushAll() {
 	sh.emit(sh.engine.Flush())
 }
 
+// processBatch runs one slab through the live path with the per-batch costs
+// paid once: one clock read, one queue-wait observation, one batch-size
+// observation, one process-histogram observation, one group commit — where
+// the per-record loop before batching took a time.Now() and two histogram
+// observes for every record. The tail pointer is memoized across runs of
+// same-taxi records, so a bulk per-taxi feed does one map lookup per run
+// instead of per record.
+func (sh *shard) processBatch(b recBatch) {
+	start := time.Now()
+	recs := b.slab.recs
+	sh.met.queueWait.Observe(start.Sub(b.at).Seconds())
+	sh.met.batchRecs.Observe(float64(len(recs)))
+	lastID := ""
+	var tail *taxiTail
+	for i := range recs {
+		if id := recs[i].TaxiID; id != lastID || tail == nil {
+			lastID = id
+			tail = sh.tails[id]
+		}
+		tail = sh.process(recs[i], tail)
+	}
+	if sh.wal != nil {
+		sh.maybeSync()
+	}
+	sh.met.process.Since(start)
+	if sh.sinceStat += len(recs); sh.sinceStat >= engineGaugeEvery {
+		sh.refreshEngineGauges()
+	}
+	putSlab(b.slab)
+}
+
 // process applies the ordering rule and the re-send dedup window, logs one
 // arriving record to the WAL, cleans it and ingests the survivors. The
 // record hits the WAL before the cleaner sees it so that a checkpoint
-// always captures the cleaner's held records too.
-func (sh *shard) process(q queuedRec) {
-	now := time.Now()
-	sh.met.queueWait.Observe(now.Sub(q.at).Seconds())
-	rec := q.rec
+// always captures the cleaner's held records too. Returns the record's tail
+// window for the caller's memoization.
+func (sh *shard) process(rec mdt.Record, tail *taxiTail) *taxiTail {
 	// One ordering rule for both durability modes: per-taxi time order
-	// (client bug otherwise). Checking here — not via store.Append — means
+	// (client bug otherwise). Checking here — not via store append — means
 	// WAL-on and WAL-off reject the same records, the cleaner never sees a
 	// time-travelling record, and replay can never fail.
 	t := rec.Time.Unix()
-	tail := sh.tails[rec.TaxiID]
 	if tail != nil && t < tail.sec {
 		sh.sm.rejected.Inc()
 		sh.met.removedOOO.Inc()
-		return
+		return tail
 	}
 	// Same-second arrivals: drop a byte-identical re-send (or GPRS
 	// retransmission) before it reaches WAL and cleaner — unless it is a
@@ -308,33 +515,44 @@ func (sh *shard) process(q queuedRec) {
 		sh.sm.rejected.Inc()
 		sh.sm.deduped.Inc()
 		sh.met.removedDup.Inc()
-		return
+		return tail
 	}
-	sh.trackTail(rec)
+	tail = sh.trackTail(tail, rec)
 	if sh.wal != nil {
 		if err := sh.wal.Append(rec); err != nil {
-			// Unreachable while the ordering rule above is at least as
-			// strict as the store's; kept so a future invariant change
-			// degrades to a rejection rather than a poisoned WAL.
-			sh.sm.rejected.Inc()
-			sh.met.removedOOO.Inc()
-			return
+			// The record is buffered regardless; the error reports a failed
+			// segment rotation, which the WAL retries on its own backoff.
+			sh.sm.ckptErrors.Inc()
+			log.Printf("ingest: shard %d wal rotation: %v", sh.id, err)
 		}
-		if sh.sm.walPending.Add(1) >= sh.nextCkpt {
+		if sh.ckptRecs++; sh.ckptRecs >= sh.nextCkpt {
 			if err := sh.checkpoint(); err != nil {
-				// A full checkpoint attempt per record would hammer a sick
-				// disk; back off by one interval and keep serving — the
-				// records are safe in memory and re-covered by the next
-				// successful save.
+				// A checkpoint attempt per record would hammer a sick disk;
+				// back off by one interval and keep serving — the records
+				// are safe in memory and re-covered by the next success.
 				sh.nextCkpt += int64(sh.svc.cfg.CheckpointEvery)
 			}
 		}
 	}
 	sh.pushClean(rec)
-	sh.met.process.Since(now)
-	if sh.sinceStat++; sh.sinceStat >= engineGaugeEvery {
-		sh.refreshEngineGauges()
+	return tail
+}
+
+// maybeSync is the group-commit trigger, run once per batch: start a
+// pipelined commit when enough records accumulated (SyncEvery) or when the
+// queue went idle. The worker only pays the buffered write; the fsync runs
+// on the WAL's background syncer, so under load one fsync covers many
+// batches and the hot path never waits on disk latency. A trickle feed
+// still becomes durable moments after the worker goes idle, and control
+// ops (flush, checkpoint) remain hard barriers via the synchronous commit.
+func (sh *shard) maybeSync() {
+	if p := sh.wal.Pending(); p > 0 && (p >= sh.svc.cfg.SyncEvery || len(sh.ch) == 0) {
+		if err := sh.wal.CommitAsync(); err != nil {
+			sh.sm.ckptErrors.Inc()
+			log.Printf("ingest: shard %d wal commit: %v", sh.id, err)
+		}
 	}
+	sh.sm.walPending.Set(int64(sh.wal.Pending()))
 }
 
 // pushClean feeds one raw record to the streaming cleaner, ingests the
@@ -394,22 +612,26 @@ func (sh *shard) refreshEngineGauges() {
 	sh.svc.estVersion.Add(1)
 }
 
-// checkpoint atomically rewrites the shard's WAL file through the
-// configured filesystem. A failed save leaves the previous on-disk copy
-// intact and the pending counter untouched (nothing became durable), is
-// counted, and is retried by the next checkpoint trigger.
+// checkpoint makes everything logged so far durable and seals the active
+// segment — an O(1) rename however many records the shard has ever seen,
+// where the old single-file format rewrote the entire store. A failed seal
+// leaves the log consistent (the segment keeps growing), is counted, and
+// is retried by the next checkpoint trigger.
 func (sh *shard) checkpoint() error {
 	if sh.wal == nil {
 		return nil
 	}
 	t0 := time.Now()
-	if err := sh.wal.SaveFileFS(sh.svc.cfg.FS, sh.walPath); err != nil {
+	if err := sh.wal.Seal(); err != nil {
 		sh.sm.ckptErrors.Inc()
 		log.Printf("ingest: shard %d checkpoint: %v", sh.id, err)
 		return err
 	}
 	sh.met.ckpt.Since(t0)
-	sh.sm.walPending.Set(0)
+	st := sh.wal.Stats()
+	sh.sm.walPending.Set(int64(st.Pending))
+	sh.sm.walSegments.Set(int64(st.Segments))
+	sh.ckptRecs = 0
 	sh.nextCkpt = int64(sh.svc.cfg.CheckpointEvery)
 	sh.sm.checkpoints.Inc()
 	return nil

@@ -9,6 +9,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"sync"
 	"time"
 
 	"taxiqueue/internal/geo"
@@ -86,13 +87,44 @@ func EncodeBinary(buf []byte, recs []mdt.Record) []byte {
 	return buf
 }
 
-// decodeBinary parses a whole binary body; any bad frame fails the batch.
-func decodeBinary(body []byte) ([]mdt.Record, error) {
-	var recs []mdt.Record
+// decodeBufs is the pooled scratch space of one /ingest request: the
+// decoded record slice, the JSON line index and the raw binary body buffer.
+// Accept copies records into per-shard slabs, so everything here is free
+// for reuse the moment the handler responds.
+type decodeBufs struct {
+	recs   []mdt.Record
+	lineOf []int
+	raw    []byte
+}
+
+var decodePool = sync.Pool{New: func() any { return new(decodeBufs) }}
+
+// readAll reads r to EOF into buf (reusing its capacity), like io.ReadAll
+// without the fresh allocation per call.
+func readAll(r io.Reader, buf []byte) ([]byte, error) {
+	buf = buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+// decodeBinary parses a whole binary body, appending to recs; any bad
+// frame fails the batch.
+func decodeBinary(body []byte, recs []mdt.Record) ([]mdt.Record, error) {
 	for len(body) > 0 {
 		r, n, err := mdt.DecodeBinary(body)
 		if err != nil {
-			return nil, fmt.Errorf("ingest: bad frame after %d records: %w", len(recs), err)
+			return recs, fmt.Errorf("ingest: bad frame after %d records: %w", len(recs), err)
 		}
 		recs = append(recs, r)
 		body = body[n:]
@@ -106,10 +138,12 @@ const maxLine = 1 << 20
 // decodeJSONLines parses newline-delimited RecordJSON, skipping (and
 // counting) malformed lines — including over-long ones, which used to fail
 // the whole batch through the scanner's ErrTooLong and cost every good
-// record around them. lineOf[i] is the zero-based line index record i came
-// from and lines the total consumed, so the handler can report a cursor in
-// the client's own line space even when bad lines were skipped.
-func decodeJSONLines(r io.Reader) (recs []mdt.Record, lineOf []int, lines int, bad int64, err error) {
+// record around them. Records append to recs and line indexes to lineOf
+// (both may carry reused capacity): lineOf[i] is the zero-based line index
+// record i came from and lines the total consumed, so the handler can
+// report a cursor in the client's own line space even when bad lines were
+// skipped.
+func decodeJSONLines(r io.Reader, recs []mdt.Record, lineOf []int) (_ []mdt.Record, _ []int, lines int, bad int64, err error) {
 	br := bufio.NewReaderSize(r, 64*1024)
 	var buf []byte
 	for {
@@ -199,6 +233,13 @@ func (s *Service) HandleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, maxBody)
+	db := decodePool.Get().(*decodeBufs)
+	defer func() {
+		db.recs = db.recs[:0]
+		db.lineOf = db.lineOf[:0]
+		db.raw = db.raw[:0]
+		decodePool.Put(db)
+	}()
 	var (
 		recs   []mdt.Record
 		lineOf []int
@@ -209,9 +250,9 @@ func (s *Service) HandleIngest(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	binary := r.Header.Get("Content-Type") == ContentTypeBinary
 	if binary {
-		var raw []byte
-		if raw, err = io.ReadAll(body); err == nil {
-			recs, err = decodeBinary(raw)
+		if db.raw, err = readAll(body, db.raw); err == nil {
+			recs, err = decodeBinary(db.raw, db.recs[:0])
+			db.recs = recs
 		}
 		if err != nil {
 			if tooLarge(err) {
@@ -225,7 +266,8 @@ func (s *Service) HandleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	} else {
-		recs, lineOf, lines, bad, err = decodeJSONLines(body)
+		recs, lineOf, lines, bad, err = decodeJSONLines(body, db.recs[:0], db.lineOf[:0])
+		db.recs, db.lineOf = recs, lineOf
 		if err != nil {
 			if tooLarge(err) {
 				s.respond(w, http.StatusRequestEntityTooLarge, ingestResponse{Error: err.Error()})

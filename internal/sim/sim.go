@@ -54,6 +54,18 @@ type Config struct {
 	TripLogIntervalSec float64
 }
 
+// DefaultFleet is the fleet a city gets when Config.NumTaxis is zero:
+// enough taxis that spot supply processes rarely find the pool empty (~16
+// per landmark, ~3000 for the full-scale city). Exported so callers that
+// scale the fleet (e.g. a surge multiplier) can scale the same baseline.
+func DefaultFleet(city *citymap.Map) int {
+	n := 20 * len(city.Landmarks)
+	if n < 200 {
+		n = 200
+	}
+	return n
+}
+
 func (c Config) withDefaults() Config {
 	if c.Start.IsZero() {
 		c.Start = time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC) // a Monday
@@ -65,13 +77,7 @@ func (c Config) withDefaults() Config {
 		c.City = citymap.Generate(c.Seed+1, 1)
 	}
 	if c.NumTaxis == 0 {
-		// Fleet sized to the city: enough taxis that spot supply processes
-		// rarely find the pool empty (~16 per landmark, ~3000 for the
-		// full-scale city).
-		c.NumTaxis = 20 * len(c.City.Landmarks)
-		if c.NumTaxis < 200 {
-			c.NumTaxis = 200
-		}
+		c.NumTaxis = DefaultFleet(c.City)
 	}
 	if c.ObservedFraction == 0 {
 		c.ObservedFraction = 0.6

@@ -11,6 +11,10 @@ import (
 // writes, fsync failures and crashes between temp-write and rename without
 // touching the real syscall layer.
 type FS interface {
+	// Create creates (or truncates) the named file for writing — the WAL's
+	// active segment goes through this, so injected write/sync faults land
+	// on the group-commit path too.
+	Create(name string) (File, error)
 	// CreateTemp creates a new temporary file in dir (see os.CreateTemp).
 	CreateTemp(dir, pattern string) (File, error)
 	// Rename atomically replaces newpath with oldpath.
@@ -31,6 +35,7 @@ type File interface {
 // osFS is the passthrough FS.
 type osFS struct{}
 
+func (osFS) Create(name string) (File, error)             { return os.Create(name) }
 func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
 func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
 func (osFS) Remove(name string) error                     { return os.Remove(name) }

@@ -4,40 +4,52 @@
 # race-tests the concurrent packages.
 #
 # Usage:
-#   scripts/bench.sh                 # default: BENCH_OUT=BENCH_PR5.json
+#   scripts/bench.sh                 # default: BENCH_OUT=BENCH_PR6.json
 #   BENCHTIME=3x scripts/bench.sh    # more iterations per benchmark
+#   BENCH_COUNT=4 scripts/bench.sh   # -count=4, record the per-bench minimum
 #   BENCH_OUT=after.json scripts/bench.sh
+#
+# The CI box is a 1-CPU VM with noisy neighbours: wall-clock numbers swing
+# 2-4x minute to minute (fsync latency especially). BENCH_COUNT > 1 runs
+# every suite N times and records each benchmark's *minimum* ns/op — the
+# least-interference estimate, which is the comparable number across PRs.
 #
 # Compare two recorded runs with benchstat (golang.org/x/perf) over the raw
 # text files the script leaves in /tmp, or diff the JSON directly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${BENCH_OUT:-BENCH_PR5.json}"
+out="${BENCH_OUT:-BENCH_PR6.json}"
 benchtime="${BENCHTIME:-1x}"
+count="${BENCH_COUNT:-1}"
 raw="$(mktemp /tmp/bench_raw.XXXXXX.txt)"
 
 echo ">> go vet ./..."
 go vet ./...
 
-echo ">> go test -bench 'Benchmark(Stage|Ablation)' -benchmem -benchtime $benchtime ."
+echo ">> go test -bench 'Benchmark(Stage|Ablation)' -benchmem -benchtime $benchtime -count $count ."
 go test -run '^$' -bench 'Benchmark(Stage|Ablation)' -benchmem \
-	-benchtime "$benchtime" -timeout 45m . | tee "$raw"
+	-benchtime "$benchtime" -count "$count" -timeout 45m . | tee "$raw"
 
 # Ingest throughput: records/sec vs shard count, with and without the WAL.
+# The BenchmarkIngest pattern also picks up BenchmarkIngestDurable (group
+# commit at the default SyncEvery) and BenchmarkIngestDurableSync, the
+# SyncEvery sweep over the durability/throughput trade-off.
 ingest_benchtime="${INGEST_BENCHTIME:-200000x}"
-echo ">> go test -bench BenchmarkIngest -benchmem -benchtime $ingest_benchtime ./internal/ingest"
+echo ">> go test -bench BenchmarkIngest -benchmem -benchtime $ingest_benchtime -count $count ./internal/ingest"
 go test -run '^$' -bench 'BenchmarkIngest' -benchmem \
-	-benchtime "$ingest_benchtime" -timeout 45m ./internal/ingest | tee -a "$raw"
+	-benchtime "$ingest_benchtime" -count "$count" -timeout 45m ./internal/ingest | tee -a "$raw"
 
 # Snapshot serving: cached read path vs the locked baseline, served
 # concurrently with a live feed (the PR 5 ≥5x criterion).
 serve_benchtime="${SERVE_BENCHTIME:-5000x}"
-echo ">> go test -bench BenchmarkServe -benchmem -benchtime $serve_benchtime ./cmd/queued"
+echo ">> go test -bench BenchmarkServe -benchmem -benchtime $serve_benchtime -count $count ./cmd/queued"
 go test -run '^$' -bench 'BenchmarkServe' -benchmem \
-	-benchtime "$serve_benchtime" -timeout 45m ./cmd/queued | tee -a "$raw"
+	-benchtime "$serve_benchtime" -count "$count" -timeout 45m ./cmd/queued | tee -a "$raw"
 
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+# Fold -count repetitions to the per-benchmark minimum ns/op (keeping the
+# B/op and allocs/op from that same run), preserving first-seen order.
+awk '
 BEGIN { n = 0 }
 /^Benchmark/ && /ns\/op/ {
 	name = $1
@@ -49,13 +61,22 @@ BEGIN { n = 0 }
 		if ($i == "allocs/op") allocs = $(i - 1)
 	}
 	if (ns == "") next
-	if (n++) printf(",\n")
-	printf("    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns)
-	if (bytes != "")  printf(", \"b_per_op\": %s", bytes)
-	if (allocs != "") printf(", \"allocs_per_op\": %s", allocs)
-	printf("}")
+	if (!(name in best)) order[n++] = name
+	if (!(name in best) || ns + 0 < best[name] + 0) {
+		best[name] = ns; bb[name] = bytes; ba[name] = allocs
+	}
 }
-END { print "" }
+END {
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		if (i) printf(",\n")
+		printf("    {\"name\": \"%s\", \"ns_per_op\": %s", name, best[name])
+		if (bb[name] != "") printf(", \"b_per_op\": %s", bb[name])
+		if (ba[name] != "") printf(", \"allocs_per_op\": %s", ba[name])
+		printf("}")
+	}
+	print ""
+}
 ' "$raw" > /tmp/bench_body.$$
 
 {
@@ -70,6 +91,26 @@ END { print "" }
 } > "$out"
 rm -f /tmp/bench_body.$$
 echo ">> wrote $out"
+
+# Ingest summary: each BenchmarkIngest* op accepts exactly one record, so
+# records/sec is just 1e9 / ns_per_op. Printed for the PR log — the JSON
+# above stays the canonical record.
+echo ">> ingest throughput (records/sec, from min ns/op)"
+awk '
+/^BenchmarkIngest/ && /ns\/op/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""
+	for (i = 2; i <= NF; i++) if ($i == "ns/op") ns = $(i - 1)
+	if (ns == "") next
+	if (!(name in best)) order[n++] = name
+	if (!(name in best) || ns + 0 < best[name] + 0) best[name] = ns
+}
+END {
+	for (i = 0; i < n; i++)
+		printf("   %-55s %12.0f rec/s\n", order[i], 1e9 / best[order[i]])
+}
+' "$raw"
 
 # queueload smoke: boot a live queued instance and drive a short mixed
 # read+ingest load through it; fails if any endpoint returns errors.
@@ -93,6 +134,6 @@ wait "$queued_pid" 2>/dev/null || true
 trap 'rm -rf "$bin"' EXIT
 echo ">> queueload smoke clean"
 
-echo ">> go test -race ./internal/cluster ./internal/core ./internal/ingest ./internal/obs ./internal/stream"
-go test -race -count=1 ./internal/cluster ./internal/core ./internal/ingest ./internal/obs ./internal/stream
+echo ">> go test -race ./internal/chaos ./internal/cluster ./internal/core ./internal/ingest ./internal/obs ./internal/store ./internal/stream"
+go test -race -count=1 ./internal/chaos ./internal/cluster ./internal/core ./internal/ingest ./internal/obs ./internal/store ./internal/stream
 echo ">> race check clean"

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Named end-to-end scenarios replayed against a real queued binary over
+# HTTP — heavier than a unit test, lighter than a deployment. Each
+# scenario boots queued, drives a deterministic feed through mdtgen, and
+# asserts the server-side invariants (healthz, accepted counts, WAL
+# durability metrics).
+#
+# Usage:
+#   scripts/scenario.sh surge            # the 10x airport-surge day
+#   SURGE=20 scripts/scenario.sh surge   # a harsher multiplier
+#
+# Scenarios:
+#   surge  Replay the same seeded day twice — 1x fleet, then SURGE x the
+#          fleet — through a durable (WAL-on) live instance, with group
+#          commit at the default SyncEvery. Everything is seeded, so a
+#          surge run is exactly reproducible and directly comparable to
+#          its 1x baseline. Fails if any feed batch errors, if the server
+#          drops out of /healthz, or if the WAL has pending (unsynced)
+#          records after the flush barrier.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scenario="${1:-surge}"
+
+addr="${SCENARIO_ADDR:-127.0.0.1:18141}"
+surge="${SURGE:-10}"
+scale="${SCENARIO_SCALE:-0.05}"
+seed="${SCENARIO_SEED:-1}"
+
+bin="$(mktemp -d /tmp/scenario_bin.XXXXXX)"
+wal="$(mktemp -d /tmp/scenario_wal.XXXXXX)"
+cleanup() {
+	[ -n "${queued_pid:-}" ] && kill "$queued_pid" 2>/dev/null || true
+	[ -n "${queued_pid:-}" ] && wait "$queued_pid" 2>/dev/null || true
+	rm -rf "$bin" "$wal"
+}
+trap cleanup EXIT
+
+wait_healthy() {
+	for _ in $(seq 1 150); do
+		if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then return 0; fi
+		sleep 0.2
+	done
+	echo "scenario: queued never became healthy on $addr" >&2
+	return 1
+}
+
+# metric NAME — read one counter/gauge off /metrics, summed across its
+# per-shard label series.
+metric() {
+	curl -fsS "http://$addr/metrics" | awk -v m="$1" '
+		index($1, m) == 1 && (length($1) == length(m) || substr($1, length(m) + 1, 1) == "{") { sum += $2 }
+		END { printf "%d\n", sum }'
+}
+
+run_surge() {
+	echo ">> building queued + mdtgen"
+	go build -o "$bin/queued" ./cmd/queued
+	go build -o "$bin/mdtgen" ./cmd/mdtgen
+
+	echo ">> booting durable live queued on $addr (WAL in $wal, group commit on)"
+	"$bin/queued" -addr "$addr" -seed "$seed" -scale "$scale" -minpts 25 \
+		-live -shards 4 -wal "$wal" &
+	queued_pid=$!
+	wait_healthy
+
+	echo ">> 1x baseline day (seed $seed, scale $scale)"
+	"$bin/mdtgen" -seed "$seed" -scale "$scale" -duration 2h \
+		-stream "http://$addr/ingest" -stats
+	base_accepted="$(metric ingest_accepted_total)"
+
+	echo ">> surge day: same seed, same city, ${surge}x the fleet"
+	"$bin/mdtgen" -seed "$seed" -scale "$scale" -duration 2h -surge "$surge" \
+		-stream "http://$addr/ingest" -stats
+	total_accepted="$(metric ingest_accepted_total)"
+
+	echo ">> post-surge invariants"
+	curl -fsS "http://$addr/healthz" >/dev/null || {
+		echo "scenario: queued unhealthy after the surge" >&2
+		return 1
+	}
+	surge_accepted=$((total_accepted - base_accepted))
+	echo "   accepted: baseline=$base_accepted surge=$surge_accepted"
+	if [ "$surge_accepted" -le "$base_accepted" ]; then
+		echo "scenario: surge day accepted no more records than the baseline" >&2
+		return 1
+	fi
+	pending="$(metric ingest_wal_pending)"
+	if [ "$pending" != 0 ]; then
+		echo "scenario: wal_pending=$pending after the flush barrier (group commit leak)" >&2
+		return 1
+	fi
+	syncs="$(metric ingest_wal_syncs_total)"
+	segs="$(metric ingest_wal_segments)"
+	echo "   wal: pending=$pending syncs=$syncs sealed_segments=$segs"
+	echo ">> surge scenario clean (${surge}x survived, WAL drained)"
+}
+
+case "$scenario" in
+surge) run_surge ;;
+*)
+	echo "scenario.sh: unknown scenario '$scenario' (have: surge)" >&2
+	exit 1
+	;;
+esac
