@@ -12,6 +12,15 @@
 //	GET /healthz                readiness: batch loaded, shards alive, WAL writable
 //	GET /debug/pprof/*          runtime profiling, when started with -pprof
 //
+// With -history DIR the columnar slot-context store (internal/history)
+// records every finalized cell — appended live on each watermark advance,
+// or backfilled from the batch pass — and three analytics endpoints serve
+// its lock-free index:
+//
+//	GET /history?spot=N[&from=..&to=..]  decoded per-slot context series
+//	GET /heatmap[?t=RFC3339]             tiled city intensity at one recorded slot
+//	GET /transitions?spot=N              day-over-day label transition matrix
+//
 // The read path is lock-free: the batch analysis and the live ingest
 // aggregator each publish an immutable view behind an atomic pointer, and
 // the hot endpoints serve pre-encoded bodies from a per-epoch cache (see
@@ -48,6 +57,7 @@ import (
 	"taxiqueue/internal/clean"
 	"taxiqueue/internal/core"
 	"taxiqueue/internal/geo"
+	"taxiqueue/internal/history"
 	"taxiqueue/internal/ingest"
 	"taxiqueue/internal/monitor"
 	"taxiqueue/internal/obs"
@@ -170,6 +180,7 @@ func main() {
 	checkpoint := flag.Int("checkpoint", 4096, "live mode: records between WAL checkpoints (segment seals)")
 	syncEvery := flag.Int("sync-every", 0, "live mode: WAL group-commit batch in records, the crash-loss window (0 = default)")
 	segmentBytes := flag.Int64("segment-bytes", 0, "live mode: WAL segment rotation size in bytes (0 = default 4MiB)")
+	histDir := flag.String("history", "", "directory for the columnar slot-context history store (enables /history, /heatmap, /transitions)")
 	withPprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof")
 	flag.Parse()
 
@@ -179,6 +190,18 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("queued: %d queue spots ready", len(srv.result().Spots))
+
+	var hist *history.Store
+	if *histDir != "" {
+		var err error
+		hist, err = newHistoryStore(*histDir, srv.result(), obs.Default)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := hist.Stats()
+		log.Printf("queued: history store at %s (%d blocks, %d records recovered)",
+			*histDir, st.Blocks, st.Records)
+	}
 
 	var liveSrv *liveServer
 	if *live {
@@ -194,7 +217,7 @@ func main() {
 			log.Printf("queued: -refresh is ignored in live mode (spots are fixed at startup)")
 			*refresh = 0
 		}
-		svc, err := ingest.NewService(ingest.Config{
+		cfg := ingest.Config{
 			Stream:          liveStreamConfig(srv.result()),
 			Clean:           clean.Config{ValidFrame: citymap.Island},
 			Shards:          *shards,
@@ -205,7 +228,13 @@ func main() {
 			SyncEvery:       *syncEvery,
 			SegmentBytes:    *segmentBytes,
 			Metrics:         obs.Default, // one process-wide /metrics scrape
-		})
+		}
+		if hist != nil {
+			// Every watermark advance records the newly-final contexts;
+			// the live feed replays one day, recorded as day 0.
+			cfg.History = hist
+		}
+		svc, err := ingest.NewService(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -218,9 +247,22 @@ func main() {
 			if err := svc.Close(); err != nil {
 				log.Printf("queued: close: %v", err)
 			}
+			if hist != nil {
+				if err := hist.Close(); err != nil {
+					log.Printf("queued: history close: %v", err)
+				}
+			}
 			os.Exit(0)
 		}()
 		log.Printf("queued: live ingest on /ingest (%d shards, %s)", *shards, policy)
+	}
+
+	if hist != nil && liveSrv == nil {
+		// Batch mode: the analysis pass is the history source. Day 0 is the
+		// initial run; each -refresh lap backfills the next day index.
+		if err := hist.BackfillResult(0, srv.result()); err != nil {
+			log.Printf("queued: history backfill: %v", err)
+		}
 	}
 
 	if *refresh > 0 {
@@ -229,8 +271,16 @@ func main() {
 				time.Sleep(*refresh)
 				if err := srv.recompute(*seed+i, *scale, *minPts); err != nil {
 					log.Printf("recompute: %v", err)
-				} else {
-					log.Printf("queued: refreshed (%d spots)", len(srv.result().Spots))
+					continue
+				}
+				log.Printf("queued: refreshed (%d spots)", len(srv.result().Spots))
+				if hist != nil {
+					// Only a run that found the same spot set can extend the
+					// store; a different detection outcome is logged and
+					// skipped (the store's grid/spot identity is fixed).
+					if err := hist.BackfillResult(int(i), srv.result()); err != nil {
+						log.Printf("queued: history backfill day %d: %v", i, err)
+					}
 				}
 			}
 		}()
@@ -254,6 +304,9 @@ func main() {
 	} else {
 		mux.HandleFunc("/spots", srv.handleSpots)
 		mux.HandleFunc("/context", srv.handleContext)
+	}
+	if hist != nil {
+		registerHistory(mux, &historyServer{hist: hist})
 	}
 	mux.HandleFunc("/recommend", srv.handleRecommend)
 	mux.Handle("/monitors", monSvc)

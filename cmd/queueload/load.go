@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -83,7 +84,10 @@ type mixEntry struct {
 
 // parseMix reads "spots=4,context=2,..." into weighted entries.
 func parseMix(s string) ([]mixEntry, error) {
-	known := map[string]bool{"spots": true, "context": true, "recommend": true, "estimate": true}
+	known := map[string]bool{
+		"spots": true, "context": true, "recommend": true, "estimate": true,
+		"history": true, "heatmap": true, "transitions": true,
+	}
 	var mix []mixEntry
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
@@ -99,7 +103,7 @@ func parseMix(s string) ([]mixEntry, error) {
 			}
 		}
 		if !known[name] {
-			return nil, fmt.Errorf("unknown endpoint %q (want spots|context|recommend|estimate)", name)
+			return nil, fmt.Errorf("unknown endpoint %q (want spots|context|recommend|estimate|history|heatmap|transitions)", name)
 		}
 		if w > 0 {
 			mix = append(mix, mixEntry{name, w})
@@ -184,13 +188,18 @@ func (r *recorder) summarize(elapsed time.Duration) []endpointStat {
 	return out
 }
 
-// reqURL builds the query URL for one request of the mix.
-func reqURL(cfg Config, name string, rng *rand.Rand, start time.Time) string {
+// reqURL builds the query URL for one request of the mix. spots is the
+// target's spot count (for endpoints taking a spot index).
+func reqURL(cfg Config, name string, rng *rand.Rand, start time.Time, spots int) string {
 	at := ""
 	if !start.IsZero() {
 		slot := rng.Intn(48)
 		t := start.Add(time.Duration(slot)*30*time.Minute + 15*time.Minute)
 		at = "at=" + t.UTC().Format(time.RFC3339)
+	}
+	spot := 0
+	if spots > 0 {
+		spot = rng.Intn(spots)
 	}
 	switch name {
 	case "spots", "context":
@@ -201,6 +210,28 @@ func reqURL(cfg Config, name string, rng *rand.Rand, start time.Time) string {
 		return u
 	case "estimate":
 		return cfg.URL + "/estimate"
+	case "history":
+		// Range scan: a random window of slots within the day (the whole
+		// recorded range when no -start is given).
+		u := fmt.Sprintf("%s/history?spot=%d", cfg.URL, spot)
+		if !start.IsZero() {
+			a := rng.Intn(48)
+			span := 1 + rng.Intn(48-a)
+			from := start.Add(time.Duration(a) * 30 * time.Minute)
+			to := from.Add(time.Duration(span) * 30 * time.Minute)
+			u += "&from=" + from.UTC().Format(time.RFC3339) + "&to=" + to.UTC().Format(time.RFC3339)
+		}
+		return u
+	case "heatmap":
+		u := cfg.URL + "/heatmap"
+		if !start.IsZero() {
+			slot := rng.Intn(48)
+			t := start.Add(time.Duration(slot)*30*time.Minute + 15*time.Minute)
+			u += "?t=" + t.UTC().Format(time.RFC3339)
+		}
+		return u
+	case "transitions":
+		return fmt.Sprintf("%s/transitions?spot=%d", cfg.URL, spot)
 	default: // recommend
 		aud := "driver"
 		if rng.Intn(2) == 1 {
@@ -237,6 +268,17 @@ func run(cfg Config, rng *rand.Rand) (Summary, error) {
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+	// Probe the spot count once so the per-spot endpoints (history,
+	// transitions) draw valid indexes.
+	spots := 0
+	if resp, err := client.Get(cfg.URL + "/spots"); err == nil {
+		var arr []json.RawMessage
+		if json.NewDecoder(resp.Body).Decode(&arr) == nil {
+			spots = len(arr)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
 
 	rec := newRecorder()
 	runStart := time.Now()
@@ -281,7 +323,7 @@ func run(cfg Config, rng *rand.Rand) (Summary, error) {
 			for time.Now().Before(deadline) {
 				<-tick.C
 				name := pick(mix, seq)
-				url := reqURL(cfg, name, seq, start)
+				url := reqURL(cfg, name, seq, start, spots)
 				reqWG.Add(1)
 				go func() { defer reqWG.Done(); fetch(name, url) }()
 			}
@@ -294,7 +336,7 @@ func run(cfg Config, rng *rand.Rand) (Summary, error) {
 				seq := rand.New(rand.NewSource(seed))
 				for time.Now().Before(deadline) {
 					name := pick(mix, seq)
-					fetch(name, reqURL(cfg, name, seq, start))
+					fetch(name, reqURL(cfg, name, seq, start, spots))
 				}
 			}(rng.Int63())
 		}

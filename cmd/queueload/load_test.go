@@ -31,6 +31,68 @@ func TestParseMix(t *testing.T) {
 	if err != nil || len(mix) != 2 || mix[1].weight != 1 {
 		t.Fatalf("bare mix = %+v, %v", mix, err)
 	}
+	// The range-scan endpoints are part of the vocabulary.
+	mix, err = parseMix("history=4,heatmap=2,transitions=1")
+	if err != nil || len(mix) != 3 {
+		t.Fatalf("range-scan mix = %+v, %v", mix, err)
+	}
+}
+
+// TestRunHistoryMix drives the range-scan mix against a stub exposing the
+// history endpoints: spot indexes must come from the probed /spots count
+// and every request must land.
+func TestRunHistoryMix(t *testing.T) {
+	var hits [3]atomic.Int64 // history, heatmap, transitions
+	var badSpot atomic.Int64
+	mux := http.NewServeMux()
+	spotted := func(i int) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			hits[i].Add(1)
+			if s := r.URL.Query().Get("spot"); s != "2" && s != "1" && s != "0" {
+				badSpot.Add(1)
+				http.Error(w, "bad spot", http.StatusBadRequest)
+				return
+			}
+			w.Write([]byte("{}\n"))
+		}
+	}
+	mux.HandleFunc("/history", spotted(0))
+	mux.HandleFunc("/transitions", spotted(2))
+	mux.HandleFunc("/heatmap", func(w http.ResponseWriter, _ *http.Request) {
+		hits[1].Add(1)
+		w.Write([]byte("{}\n"))
+	})
+	// The spot-count probe reads this: three spots.
+	mux.HandleFunc("/spots", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`[{},{},{}]`))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) { w.Write([]byte("ok")) })
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	cfg := defaultConfig()
+	cfg.URL = ts.URL
+	cfg.Duration = 200 * time.Millisecond
+	cfg.Clients = 2
+	cfg.Mix = "history=4,heatmap=2,transitions=1"
+	cfg.Start = "2026-01-05T00:00:00Z"
+	sum, err := run(cfg, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range sum.Endpoints {
+		if ep.Errors != 0 {
+			t.Fatalf("%s: %d errors", ep.Name, ep.Errors)
+		}
+	}
+	for i := range hits {
+		if hits[i].Load() == 0 {
+			t.Fatalf("endpoint %d never hit: %+v", i, sum.Endpoints)
+		}
+	}
+	if badSpot.Load() != 0 {
+		t.Fatalf("%d requests drew a spot outside the probed count", badSpot.Load())
+	}
 }
 
 func TestPercentile(t *testing.T) {
@@ -95,8 +157,9 @@ func TestRunClosedLoop(t *testing.T) {
 		}
 		served += hits[i].Load()
 	}
-	if int64(total) != served {
-		t.Fatalf("summary counts %d requests, server saw %d", total, served)
+	// run() probes /spots once for the spot count before the load starts.
+	if int64(total)+1 != served {
+		t.Fatalf("summary counts %d requests, server saw %d (want summary+1 probe)", total, served)
 	}
 	if sum.TotalRPS <= 0 {
 		t.Fatalf("total rps %f", sum.TotalRPS)

@@ -80,6 +80,25 @@ func (r *Result) SpotCountByZone() [citymap.NumZones]int {
 	return out
 }
 
+// Cell returns spot's features and context at slot index j — the
+// uniform cell accessor batch consumers (history backfill) read the grid
+// through. Out-of-range indexes yield the zero features and Unidentified.
+func (r *Result) Cell(spot, j int) (SlotFeatures, QueueType) {
+	if spot < 0 || spot >= len(r.Spots) {
+		return SlotFeatures{}, Unidentified
+	}
+	a := &r.Spots[spot]
+	var f SlotFeatures
+	label := Unidentified
+	if j >= 0 && j < len(a.Features) {
+		f = a.Features[j]
+	}
+	if j >= 0 && j < len(a.Labels) {
+		label = a.Labels[j]
+	}
+	return f, label
+}
+
 // Engine is the two-tier queue analytic engine: the lower tier detects
 // queue spots from slow pickup events; the upper tier disambiguates each
 // spot's per-slot queue context.

@@ -1,0 +1,27 @@
+package history
+
+import (
+	"fmt"
+
+	"taxiqueue/internal/core"
+)
+
+// BackfillResult records every closed slot of one batch analysis pass as
+// day's history — the daily batch path into the store, complementing the
+// live AppendSlots hook. The result must cover the same spot set the
+// store was opened with (same count and order); the per-day watermark
+// makes a re-backfill of an already-recorded day a no-op, so batch and
+// live feeding the same day cannot double-append. Flushes before
+// returning so the day is durable.
+func (s *Store) BackfillResult(day int, res *core.Result) error {
+	if len(res.Spots) != len(s.cfg.Spots) {
+		return fmt.Errorf("history: backfill day %d: result has %d spots, store has %d",
+			day, len(res.Spots), len(s.cfg.Spots))
+	}
+	if err := s.AppendSlots(day, 0, s.cfg.Grid.Slots, func(spot, slot int) (core.SlotFeatures, core.QueueType) {
+		return res.Cell(spot, slot)
+	}); err != nil {
+		return err
+	}
+	return s.Flush()
+}

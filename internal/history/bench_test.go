@@ -1,0 +1,115 @@
+package history
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"taxiqueue/internal/core"
+)
+
+// benchDay pre-generates one day of pipeline-shaped cells for nspots
+// spots at the given density.
+func benchDay(nspots int, density float64, seed int64) (Config, map[[2]int]Record) {
+	cfg := testConfig(nspots)
+	rng := rand.New(rand.NewSource(seed))
+	slotSec := cfg.Grid.SlotLen.Seconds()
+	cells := make(map[[2]int]Record)
+	for slot := 0; slot < cfg.Grid.Slots; slot++ {
+		for spot := 0; spot < nspots; spot++ {
+			if rng.Float64() < density {
+				f, l := randFeats(rng, core.PaperAmplification, slotSec)
+				cells[[2]int{spot, slot}] = Record{Slot: slot, Spot: spot, Label: l, Feats: f}
+			}
+		}
+	}
+	return cfg, cells
+}
+
+// BenchmarkHistoryAppend measures the live-path ingestion seam: one
+// AppendSlots watermark advance of a full day across 50 spots, encode and
+// seal included (no disk).
+func BenchmarkHistoryAppend(b *testing.B) {
+	cfg, cells := benchDay(50, 0.4, 1)
+	at := func(spot, slot int) (core.SlotFeatures, core.QueueType) {
+		if r, ok := cells[[2]int{spot, slot}]; ok {
+			return r.Feats, r.Label
+		}
+		return core.SlotFeatures{}, core.Unidentified
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Open(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.AppendSlots(0, 0, cfg.Grid.Slots, at); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(cells)), "cells/op")
+}
+
+// benchStore loads days full days into a store for the read benchmarks.
+func benchStore(b *testing.B, nspots, days int) *Store {
+	b.Helper()
+	cfg, cells := benchDay(nspots, 0.4, 2)
+	s, err := Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for d := 0; d < days; d++ {
+		day := d
+		err := s.AppendSlots(day, 0, cfg.Grid.Slots, func(spot, slot int) (core.SlotFeatures, core.QueueType) {
+			if r, ok := cells[[2]int{spot, slot}]; ok {
+				return r.Feats, r.Label
+			}
+			return core.SlotFeatures{}, core.Unidentified
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkHistoryRange measures one /history-shaped scan: a random
+// 12-hour window of one spot's series out of a week of 50 spots.
+func BenchmarkHistoryRange(b *testing.B) {
+	s := benchStore(b, 50, 7)
+	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spot := rng.Intn(s.Spots())
+		day := rng.Intn(7)
+		lo := rng.Intn(24)
+		from := s.TimeOf(day, lo)
+		pts := s.Series(spot, from, from.Add(12*time.Hour))
+		if len(pts) == 0 {
+			b.Fatal("empty series")
+		}
+	}
+}
+
+// BenchmarkHistoryHeatmap measures one /heatmap-shaped aggregation: all
+// 50 spots tiled at a random recorded slot.
+func BenchmarkHistoryHeatmap(b *testing.B) {
+	s := benchStore(b, 50, 7)
+	rng := rand.New(rand.NewSource(4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := s.TimeOf(rng.Intn(7), rng.Intn(s.Grid().Slots))
+		if _, ok := s.Heatmap(at); !ok {
+			b.Fatal("heatmap miss on a recorded slot")
+		}
+	}
+}

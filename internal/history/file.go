@@ -1,0 +1,366 @@
+package history
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// On-disk layout. History lives in generation files hist-<gen>.hb:
+//
+//	magic   "TQHIST1\n" (8 bytes)
+//	stamp   uvarint slots, uvarint slotLen ns, uvarint nspots,
+//	        grid start UnixNano (8 bytes LE), Factor + IntervalFactor
+//	        (float64 LE each) — a store may only recover files written
+//	        under its exact configuration
+//	base    uvarint baseCount
+//	frames  4-byte LE payload length, 4-byte LE CRC32 (IEEE), payload
+//
+// store.FS exposes no append-open, so a restart continues into a *new*
+// generation whose baseCount says how many logical blocks the earlier
+// generations already carry. A generation opened to continue has
+// baseCount = that durable count; a generation written to escape a write
+// error (rotateLocked) has baseCount = 0 and re-frames every block, after
+// which the older generations are removed. Recovery walks generations
+// ascending, resets the block list to each file's baseCount, and appends
+// its frames; the first damaged frame (bad length, CRC or decode) cuts
+// the tail — the file is truncated at the last clean frame, later
+// generations are removed, and the cut is counted. Because a rewrite
+// generation frames blocks in logical order, a crash mid-rewrite leaves a
+// clean prefix that is also a logical clean prefix.
+const (
+	histMagic    = "TQHIST1\n"
+	maxFrameSize = 1 << 30
+)
+
+func genFileName(gen int) string { return fmt.Sprintf("hist-%d.hb", gen) }
+
+// genOf parses hist-<gen>.hb; ok is false for anything else.
+func genOf(name string) (int, bool) {
+	if !strings.HasPrefix(name, "hist-") || !strings.HasSuffix(name, ".hb") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(name[len("hist-") : len(name)-len(".hb")])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// headerBytes renders magic + config stamp + baseCount.
+func (s *Store) headerBytes(baseCount int) []byte {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, histMagic...)
+	buf = binary.AppendUvarint(buf, uint64(s.cfg.Grid.Slots))
+	buf = binary.AppendUvarint(buf, uint64(s.cfg.Grid.SlotLen))
+	buf = binary.AppendUvarint(buf, uint64(len(s.cfg.Spots)))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.cfg.Grid.Start.UnixNano()))
+	buf = appendF64(buf, s.cfg.Amplify.Factor)
+	buf = appendF64(buf, s.cfg.Amplify.IntervalFactor)
+	buf = binary.AppendUvarint(buf, uint64(baseCount))
+	return buf
+}
+
+func frameBytes(payload []byte) []byte {
+	buf := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// failLocked poisons the current generation after a write/sync error: the
+// file's tail is untrustworthy, so it is abandoned and the next seal
+// rewrites everything into a fresh generation.
+func (s *Store) failLocked(err error) {
+	_ = err
+	s.met.writeErrs.Inc()
+	if s.file != nil {
+		_ = s.file.Close()
+		s.file = nil
+	}
+	s.needRewrite = true
+}
+
+// createGenLocked opens the next generation file and writes its header.
+func (s *Store) createGenLocked(baseCount int) bool {
+	gen := s.gen
+	s.gen++
+	name := filepath.Join(s.cfg.Dir, genFileName(gen))
+	f, err := s.cfg.FS.Create(name)
+	if err != nil {
+		s.failLocked(err)
+		return false
+	}
+	s.file = f
+	s.genFiles = append(s.genFiles, name)
+	hdr := s.headerBytes(baseCount)
+	if _, err := f.Write(hdr); err != nil {
+		s.failLocked(err)
+		return false
+	}
+	s.bytes += int64(len(hdr))
+	s.met.bytes.Set(s.bytes)
+	return true
+}
+
+// appendFrameLocked frames, writes and syncs one block payload.
+func (s *Store) appendFrameLocked(payload []byte) bool {
+	frame := frameBytes(payload)
+	if _, err := s.file.Write(frame); err != nil {
+		s.failLocked(err)
+		return false
+	}
+	if err := s.file.Sync(); err != nil {
+		s.failLocked(err)
+		return false
+	}
+	s.bytes += int64(len(frame))
+	s.met.bytes.Set(s.bytes)
+	return true
+}
+
+// persistLocked makes the block just appended to s.blocks durable.
+func (s *Store) persistLocked(b *block) {
+	if s.needRewrite {
+		s.rotateLocked()
+		return // the rotate covered b (or failed and stays poisoned)
+	}
+	if s.file == nil {
+		if !s.createGenLocked(s.durable) {
+			return
+		}
+	}
+	if !s.appendFrameLocked(b.payload) {
+		return
+	}
+	s.durable++
+}
+
+// rotateLocked escapes a poisoned generation: every sealed block is
+// re-framed into a fresh generation with baseCount 0, and on success the
+// older generations are removed (best effort — a leftover older
+// generation is harmless, the newer one's baseCount supersedes it).
+func (s *Store) rotateLocked() {
+	if s.file != nil {
+		_ = s.file.Close()
+		s.file = nil
+	}
+	gen := s.gen
+	s.gen++
+	name := filepath.Join(s.cfg.Dir, genFileName(gen))
+	f, err := s.cfg.FS.Create(name)
+	if err != nil {
+		s.failLocked(err)
+		return
+	}
+	s.file = f
+	s.genFiles = append(s.genFiles, name)
+	bytes := int64(0)
+	hdr := s.headerBytes(0)
+	if _, err := f.Write(hdr); err != nil {
+		s.failLocked(err)
+		return
+	}
+	bytes += int64(len(hdr))
+	for _, b := range s.blocks {
+		frame := frameBytes(b.payload)
+		if _, err := f.Write(frame); err != nil {
+			s.failLocked(err)
+			return
+		}
+		bytes += int64(len(frame))
+	}
+	if err := f.Sync(); err != nil {
+		s.failLocked(err)
+		return
+	}
+	s.needRewrite = false
+	s.durable = len(s.blocks)
+	s.bytes = bytes
+	s.met.bytes.Set(bytes)
+	keep := s.genFiles[:0]
+	for _, old := range s.genFiles {
+		if old == name {
+			keep = append(keep, old)
+			continue
+		}
+		if err := s.cfg.FS.Remove(old); err != nil {
+			keep = append(keep, old)
+		}
+	}
+	s.genFiles = keep
+}
+
+// syncLocked is the Flush durability barrier: it completes any owed
+// rewrite and syncs the open generation.
+func (s *Store) syncLocked() {
+	if s.needRewrite {
+		s.rotateLocked()
+		return
+	}
+	if s.file == nil {
+		return
+	}
+	if err := s.file.Sync(); err != nil {
+		s.failLocked(err)
+	}
+}
+
+// recover loads the generation files under cfg.Dir, keeping the longest
+// clean prefix of blocks. Damage (a torn header, an impossible baseCount,
+// a frame with a bad length/CRC or an undecodable payload) truncates the
+// damaged file at its last clean frame, removes all later generations,
+// and counts one truncation; a complete header written under a different
+// configuration is a hard error. Reads and repairs use the real
+// filesystem — only the write path goes through the (fault-injectable)
+// cfg.FS, mirroring the WAL.
+func (s *Store) recover() error {
+	ents, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("history: recover: %w", err)
+	}
+	gens := make([]int, 0, len(ents))
+	for _, e := range ents {
+		if g, ok := genOf(e.Name()); ok {
+			gens = append(gens, g)
+		}
+	}
+	sort.Ints(gens)
+	if len(gens) > 0 {
+		s.gen = gens[len(gens)-1] + 1
+	}
+	damaged := false
+	for _, g := range gens {
+		name := filepath.Join(s.cfg.Dir, genFileName(g))
+		if damaged {
+			_ = os.Remove(name)
+			continue
+		}
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return fmt.Errorf("history: recover %s: %w", name, err)
+		}
+		kept, blocks, hardErr := s.recoverFile(name, data)
+		if hardErr != nil {
+			return hardErr
+		}
+		if blocks == nil {
+			// Unusable header: drop the file entirely.
+			_ = os.Remove(name)
+			damaged = true
+			s.met.truncations.Inc()
+			continue
+		}
+		base := blocks.baseCount
+		if base > len(s.blocks) {
+			// Claims a longer durable prefix than exists — the earlier
+			// generations were cut below what this one assumed.
+			_ = os.Remove(name)
+			damaged = true
+			s.met.truncations.Inc()
+			continue
+		}
+		// A rewrite generation supersedes everything beyond its base.
+		s.blocks = append(s.blocks[:base], blocks.frames...)
+		if kept < int64(len(data)) {
+			if err := os.Truncate(name, kept); err != nil {
+				return fmt.Errorf("history: truncate %s: %w", name, err)
+			}
+			damaged = true
+			s.met.truncations.Inc()
+		}
+		s.genFiles = append(s.genFiles, name)
+	}
+	// Byte accounting: sum the surviving generation file sizes.
+	s.bytes = 0
+	for _, name := range s.genFiles {
+		if fi, err := os.Stat(name); err == nil {
+			s.bytes += fi.Size()
+		}
+	}
+	return nil
+}
+
+// recoveredGen is one generation file's parse result.
+type recoveredGen struct {
+	baseCount int
+	frames    []*block
+}
+
+// recoverFile parses one generation file. Returns the clean byte length,
+// the parsed content (nil when the header itself is unusable), and a hard
+// error only for a complete header stamped with a different configuration.
+func (s *Store) recoverFile(name string, data []byte) (int64, *recoveredGen, error) {
+	if len(data) < len(histMagic) {
+		return 0, nil, nil // torn creation
+	}
+	if string(data[:len(histMagic)]) != histMagic {
+		return 0, nil, fmt.Errorf("history: %s: not a history file", name)
+	}
+	r := &byteReader{buf: data, off: len(histMagic)}
+	slots := r.uvarint()
+	slotLen := r.uvarint()
+	nspots := r.uvarint()
+	start := r.f64bits()
+	factor := r.f64()
+	ifactor := r.f64()
+	base := r.uvarint()
+	if r.err != nil {
+		return 0, nil, nil // torn header
+	}
+	if int(slots) != s.cfg.Grid.Slots ||
+		int64(slotLen) != int64(s.cfg.Grid.SlotLen) ||
+		int(nspots) != len(s.cfg.Spots) ||
+		int64(start) != s.cfg.Grid.Start.UnixNano() ||
+		!sameBits(factor, s.cfg.Amplify.Factor) ||
+		!sameBits(ifactor, s.cfg.Amplify.IntervalFactor) {
+		return 0, nil, fmt.Errorf("history: %s: config mismatch (written under a different grid/spots/amplification)", name)
+	}
+	if base > uint64(maxFrameSize) {
+		return 0, nil, nil
+	}
+	out := &recoveredGen{baseCount: int(base)}
+	clean := int64(r.off)
+	for r.off < len(data) {
+		if r.off+8 > len(data) {
+			break
+		}
+		plen := binary.LittleEndian.Uint32(data[r.off:])
+		crc := binary.LittleEndian.Uint32(data[r.off+4:])
+		if plen > maxFrameSize || r.off+8+int(plen) > len(data) {
+			break
+		}
+		payload := data[r.off+8 : r.off+8+int(plen)]
+		if crc32.ChecksumIEEE(payload) != crc {
+			break
+		}
+		b, err := decodeBlock(payload, s.cfg.Amplify, s.slotSec)
+		if err != nil {
+			break
+		}
+		out.frames = append(out.frames, b)
+		r.off += 8 + int(plen)
+		clean = int64(r.off)
+	}
+	return clean, out, nil
+}
+
+// f64bits reads 8 LE bytes as a uint64 (for the grid-start stamp, which
+// is an int64, not a float).
+func (r *byteReader) f64bits() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.buf) {
+		r.err = errBadBlock
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}

@@ -1,0 +1,497 @@
+// Package history is the embedded columnar time-series store for closed
+// slot contexts — the analytics backend behind queued's /history, /heatmap
+// and /transitions endpoints. The paper labels only the *current* slot;
+// once a slot's finality watermark passes, its context existed nowhere but
+// a soon-to-be-replaced snapshot. This package makes that context
+// permanent and cheap to scan: every final (spot, slot) cell — the §5.2
+// 5-tuple features plus the classified queue context — appends in slot
+// order into fixed-size columnar blocks, each carrying a summary (slot
+// range, per-label counts, feature aggregates) so range queries and
+// heatmaps skip blocks without decoding their contents.
+//
+// Layout. A record is one (day, slot, spot) cell. Cells whose features are
+// the zero 5-tuple are never stored: an empty slot's context is a pure
+// function of the spot's thresholds, so the read side synthesizes it on
+// demand and the encoded size tracks *activity*, not grid area (a few
+// bytes per active cell, fractions of a byte amortized per grid cell).
+// Within a block the payload is columnar — one delta/varint-packed column
+// per field — and float features that are exactly derivable from raw
+// counts (N_arr = waitN·Factor, N_dep = depN·Factor, L̄ from t̄wait and
+// N_arr) are stored as the counts plus a derivation flag, falling back to
+// explicit float64 bits only when the bit-exact reproduction check fails
+// at encode time. Decoding is therefore lossless to the bit, which the
+// equivalence tests assert field by field against both the live snapshot
+// and the batch engine.
+//
+// Reads are lock-free, matching the repo's RCU serving style: every
+// append publishes an immutable index (sealed blocks + the open tail +
+// per-day watermarks) behind an atomic pointer; queries load the pointer
+// once and walk plain memory. Writers serialize on an internal mutex that
+// readers never touch.
+//
+// Durability rides the same store.FS seam as the ingest WAL, so the chaos
+// harness's disk faults (short writes, fsync errors, silently torn tails)
+// apply unchanged. Sealed blocks append to a generation file as
+// CRC-framed records; recovery keeps the longest clean block prefix,
+// truncates the rest, and counts the cut — a partially written block is
+// never served. The ingest WAL replays the live day through the exact
+// live path on restart, and the store's per-day watermark makes
+// re-appends idempotent, so a recovered prefix plus a replay converges to
+// the fault-free history.
+package history
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"taxiqueue/internal/core"
+	"taxiqueue/internal/obs"
+	"taxiqueue/internal/store"
+)
+
+// ErrClosed is returned by appends after Close.
+var ErrClosed = errors.New("history: store closed")
+
+// Record is one decoded (day, slot, spot) cell: the classified context and
+// the §5.2 feature 5-tuple behind it.
+type Record struct {
+	Day   int
+	Slot  int
+	Spot  int
+	Label core.QueueType
+	Feats core.SlotFeatures
+}
+
+// Config parameterizes a Store.
+type Config struct {
+	// Grid is the slot partition a day of history is laid out over.
+	// Required. Day d, slot j covers the interval starting at
+	// Grid.Start + d·(Slots·SlotLen) + j·SlotLen.
+	Grid core.SlotGrid
+	// Spots are the queue spots cells are recorded for (positions feed the
+	// heatmap tiles). Required.
+	Spots []core.QueueSpot
+	// Thresholds are the per-spot QCD thresholds, indexed like Spots;
+	// needed to synthesize the context of empty (unstored) cells exactly.
+	Thresholds []core.Thresholds
+	// Amplify is the §6.2.1 coverage correction the recorded features were
+	// computed under; the count-derivation codec reproduces floats from it.
+	Amplify core.Amplification
+	// Dir enables durability: sealed blocks append to generation files
+	// under it. Empty keeps the store memory-only.
+	Dir string
+	// FS is the filesystem writes go through; store.OS when nil. The
+	// chaos harness injects disk faults here. Reads and truncation use the
+	// real filesystem, like the WAL.
+	FS store.FS
+	// BlockRecords seals the open tail into an encoded block once it holds
+	// this many records; 512 when 0.
+	BlockRecords int
+	// TileMeters is the heatmap tile edge length; 400 m when 0.
+	TileMeters float64
+	// Metrics is the registry the store's collectors live in; a private
+	// registry when nil.
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.BlockRecords == 0 {
+		c.BlockRecords = 512
+	}
+	if c.TileMeters == 0 {
+		c.TileMeters = 400
+	}
+	if c.Amplify.Factor == 0 {
+		c.Amplify = core.NoAmplification
+	}
+	if c.FS == nil {
+		c.FS = store.OS
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	return c
+}
+
+// index is one immutable published read view: sealed blocks, the open
+// (not yet sealed) tail, and the per-day appended-below watermarks.
+// Queries load it with a single atomic pointer read and never see a
+// half-applied append.
+type index struct {
+	blocks  []*block
+	pending []Record
+	// wm[day] is the appended-below slot watermark: every slot of the day
+	// strictly below it is fully recorded (stored or provably empty).
+	wm map[int]int
+}
+
+// days returns the recorded day indexes in ascending order.
+func (ix *index) days() []int {
+	out := make([]int, 0, len(ix.wm))
+	for d := range ix.wm {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// emptyCell is one spot's synthesized no-activity context, computed once.
+type emptyCell struct {
+	once  sync.Once
+	label core.QueueType
+}
+
+// Store is the embedded history store. Appends are safe for concurrent
+// use (serialized internally); reads are lock-free against the published
+// index.
+type Store struct {
+	cfg     Config
+	slotSec float64
+	dayLen  time.Duration
+	met     *metrics
+
+	pub atomic.Pointer[index]
+
+	empty []emptyCell
+
+	mu      sync.Mutex
+	blocks  []*block
+	pending []Record
+	wm      map[int]int
+	// persistedWM mirrors wm but only advances when a block carrying the
+	// watermark is sealed, so Flush knows whether a day still owes a bare
+	// watermark block (an empty tail of slots that produced no records).
+	persistedWM map[int]int
+	closed      bool
+
+	// Durability state; untouched when cfg.Dir is empty.
+	file store.File
+	gen  int // next generation number to create
+	// durable counts the leading blocks persisted (and synced) on disk;
+	// only meaningful while needRewrite is false.
+	durable  int
+	genFiles []string
+	bytes    int64
+	// needRewrite is set after a failed frame write or sync: the current
+	// generation file has an untrustworthy tail, so the next seal rewrites
+	// every block into a fresh generation (see rotateLocked).
+	needRewrite bool
+}
+
+// Open builds a store from cfg, recovering any generation files under
+// cfg.Dir (tolerantly: a torn or corrupt tail keeps the longest clean
+// block prefix and counts the truncation).
+func Open(cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Grid.Slots == 0 {
+		return nil, errors.New("history: Grid must be set")
+	}
+	if len(cfg.Thresholds) != len(cfg.Spots) {
+		return nil, fmt.Errorf("history: %d spots but %d thresholds", len(cfg.Spots), len(cfg.Thresholds))
+	}
+	s := &Store{
+		cfg:         cfg,
+		slotSec:     cfg.Grid.SlotLen.Seconds(),
+		dayLen:      time.Duration(cfg.Grid.Slots) * cfg.Grid.SlotLen,
+		met:         newMetrics(cfg.Metrics),
+		empty:       make([]emptyCell, len(cfg.Spots)),
+		wm:          make(map[int]int),
+		persistedWM: make(map[int]int),
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("history: dir: %w", err)
+		}
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
+	for _, b := range s.blocks {
+		s.met.blocks.Inc()
+		s.met.records.Add(int64(b.sum.Count))
+		if b.coveredBelow > s.wm[b.day] {
+			s.wm[b.day] = b.coveredBelow
+		}
+	}
+	for d, w := range s.wm {
+		s.persistedWM[d] = w
+	}
+	s.durable = len(s.blocks)
+	s.met.bytes.Set(s.bytes)
+	s.publishLocked()
+	return s, nil
+}
+
+// emptyContext returns spot's synthesized no-activity cell: the zero
+// feature 5-tuple and the label Classify assigns it under the spot's
+// thresholds — identical to what the batch engine and the live aggregator
+// produce for a slot nobody fed.
+func (s *Store) emptyContext(spot int) (core.SlotFeatures, core.QueueType) {
+	e := &s.empty[spot]
+	e.once.Do(func() {
+		e.label = core.Classify([]core.SlotFeatures{{}}, s.cfg.Thresholds[spot])[0]
+	})
+	return core.SlotFeatures{}, e.label
+}
+
+// Grid returns the store's slot grid.
+func (s *Store) Grid() core.SlotGrid { return s.cfg.Grid }
+
+// Spots returns how many queue spots the store records.
+func (s *Store) Spots() int { return len(s.cfg.Spots) }
+
+// DayLen is the span one day index covers (Slots · SlotLen).
+func (s *Store) DayLen() time.Duration { return s.dayLen }
+
+// TimeOf returns the start instant of (day, slot).
+func (s *Store) TimeOf(day, slot int) time.Time {
+	return s.cfg.Grid.Start.Add(time.Duration(day)*s.dayLen + time.Duration(slot)*s.cfg.Grid.SlotLen)
+}
+
+// Locate maps an instant onto (day, slot); ok is false before the grid
+// start.
+func (s *Store) Locate(t time.Time) (day, slot int, ok bool) {
+	d := t.Sub(s.cfg.Grid.Start)
+	if d < 0 {
+		return 0, 0, false
+	}
+	return int(d / s.dayLen), int((d % s.dayLen) / s.cfg.Grid.SlotLen), true
+}
+
+// Watermark returns day's appended-below slot: every slot strictly below
+// it is recorded (0 when the day is absent).
+func (s *Store) Watermark(day int) int { return s.pub.Load().wm[day] }
+
+// Days returns the recorded day indexes in ascending order.
+func (s *Store) Days() []int { return s.pub.Load().days() }
+
+// AppendSlots records every cell of slots [lo, hi) of one day, reading
+// each (spot, slot) context from at. Slots already appended (below the
+// day's watermark) are skipped, so racing appenders and WAL replays are
+// exactly idempotent; cells whose features are the zero 5-tuple are
+// elided (the read side synthesizes them). The new cells join the open
+// tail, which seals into encoded blocks at Config.BlockRecords and
+// appends them durably when the store has a directory.
+func (s *Store) AppendSlots(day, lo, hi int, at func(spot, slot int) (core.SlotFeatures, core.QueueType)) error {
+	if hi > s.cfg.Grid.Slots {
+		hi = s.cfg.Grid.Slots
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if w := s.wm[day]; w > lo {
+		lo = w
+	}
+	if lo >= hi {
+		return nil
+	}
+	appended := 0
+	for slot := lo; slot < hi; slot++ {
+		for spot := range s.cfg.Spots {
+			f, l := at(spot, slot)
+			if f == (core.SlotFeatures{}) {
+				continue // synthesized at read time; see emptyContext
+			}
+			s.pending = append(s.pending, Record{Day: day, Slot: slot, Spot: spot, Label: l, Feats: f})
+			appended++
+		}
+	}
+	s.wm[day] = hi
+	s.met.appends.Inc()
+	s.met.records.Add(int64(appended))
+	s.sealFullLocked()
+	s.publishLocked()
+	return nil
+}
+
+// Append records pre-built cells (the tooling and test entry point; the
+// live path uses AppendSlots). Records at slots already below their day's
+// watermark are dropped (idempotence); each surviving record advances the
+// watermark to just past its slot.
+func (s *Store) Append(recs []Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	kept := 0
+	for _, r := range recs {
+		if r.Slot < 0 || r.Slot >= s.cfg.Grid.Slots || r.Spot < 0 || r.Spot >= len(s.cfg.Spots) {
+			continue
+		}
+		if r.Slot < s.wm[r.Day] {
+			continue
+		}
+		if r.Feats != (core.SlotFeatures{}) {
+			s.pending = append(s.pending, r)
+			kept++
+		}
+		s.wm[r.Day] = r.Slot + 1
+	}
+	s.met.appends.Inc()
+	s.met.records.Add(int64(kept))
+	s.sealFullLocked()
+	s.publishLocked()
+	return nil
+}
+
+// pendingRunLocked returns how many leading pending records share the
+// first record's day — the largest run a single block may take, since a
+// block never spans days.
+func (s *Store) pendingRunLocked() int {
+	day := s.pending[0].Day
+	for i := range s.pending {
+		if s.pending[i].Day != day {
+			return i
+		}
+	}
+	return len(s.pending)
+}
+
+// coveredLocked computes the coveredBelow claim for sealing
+// s.pending[:cut] of day: the first later pending record of the same day
+// bounds it (that slot is not yet fully sealed); otherwise the day's
+// watermark is exact.
+func (s *Store) coveredLocked(day, cut int) int {
+	for _, r := range s.pending[cut:] {
+		if r.Day == day {
+			return r.Slot
+		}
+	}
+	return s.wm[day]
+}
+
+// sealFullLocked cuts BlockRecords-sized blocks off the open tail.
+func (s *Store) sealFullLocked() {
+	for len(s.pending) > 0 {
+		run := s.pendingRunLocked()
+		if run < s.cfg.BlockRecords {
+			return
+		}
+		cut := s.cfg.BlockRecords
+		day := s.pending[0].Day
+		s.sealLocked(day, s.pending[:cut], s.coveredLocked(day, cut))
+		s.pending = append(s.pending[:0:0], s.pending[cut:]...)
+	}
+}
+
+// sealLocked encodes one block (possibly empty: a bare watermark carrier)
+// and appends it to the store and, when durable, to the generation file.
+func (s *Store) sealLocked(day int, recs []Record, coveredBelow int) {
+	b := encodeBlock(day, recs, coveredBelow, s.cfg.Amplify, s.slotSec)
+	s.blocks = append(s.blocks, b)
+	s.met.blocks.Inc()
+	if coveredBelow > s.persistedWM[day] {
+		s.persistedWM[day] = coveredBelow
+	}
+	if s.cfg.Dir != "" {
+		s.persistLocked(b)
+	}
+}
+
+// Flush seals the open tail (whatever its size), persists any watermark
+// advance that produced no records as a bare watermark block, and syncs
+// the generation file — the durability barrier the ingest service invokes
+// at end of feed. Callers without a Dir get the seal (and the published
+// blocks) only.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.flushLocked()
+	s.publishLocked()
+	return nil
+}
+
+// flushLocked seals everything pending plus owed watermark blocks.
+func (s *Store) flushLocked() {
+	for len(s.pending) > 0 {
+		run := s.pendingRunLocked()
+		day := s.pending[0].Day
+		s.sealLocked(day, s.pending[:run], s.coveredLocked(day, run))
+		s.pending = append(s.pending[:0:0], s.pending[run:]...)
+	}
+	// A day whose newest appended slots were all empty produced no
+	// records; a bare watermark block makes the "fully recorded below"
+	// claim durable so a restart serves those slots as final empties.
+	days := make([]int, 0, len(s.wm))
+	for day := range s.wm {
+		days = append(days, day)
+	}
+	sort.Ints(days)
+	for _, day := range days {
+		if w := s.wm[day]; w > s.persistedWM[day] {
+			s.sealLocked(day, nil, w)
+		}
+	}
+	if s.cfg.Dir != "" {
+		s.syncLocked()
+	}
+}
+
+// publishLocked swaps in a fresh immutable index.
+func (s *Store) publishLocked() {
+	wm := make(map[int]int, len(s.wm))
+	for d, w := range s.wm {
+		wm[d] = w
+	}
+	s.pub.Store(&index{
+		blocks:  s.blocks[:len(s.blocks):len(s.blocks)],
+		pending: append([]Record(nil), s.pending...),
+		wm:      wm,
+	})
+}
+
+// Close flushes and closes the generation file. Further appends return
+// ErrClosed; reads keep serving the final published index.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.flushLocked()
+	s.publishLocked()
+	s.closed = true
+	if s.file != nil {
+		err := s.file.Close()
+		s.file = nil
+		return err
+	}
+	return nil
+}
+
+// Stats is the store's counter snapshot; every field reads the same
+// registry collector /metrics renders, so the two views cannot disagree.
+type Stats struct {
+	Appends     int64 `json:"appends"`      // AppendSlots/Append calls applied
+	Records     int64 `json:"records"`      // non-empty cells recorded
+	Blocks      int64 `json:"blocks"`       // sealed encoded blocks
+	Bytes       int64 `json:"bytes"`        // encoded bytes on disk (header + frames)
+	Truncations int64 `json:"truncations"`  // recoveries that cut a damaged tail
+	WriteErrors int64 `json:"write_errors"` // failed frame writes/syncs (rotated away)
+}
+
+// Stats snapshots the collectors.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Appends:     s.met.appends.Value(),
+		Records:     s.met.records.Value(),
+		Blocks:      s.met.blocks.Value(),
+		Bytes:       s.met.bytes.Value(),
+		Truncations: s.met.truncations.Value(),
+		WriteErrors: s.met.writeErrs.Value(),
+	}
+}

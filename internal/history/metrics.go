@@ -1,0 +1,43 @@
+package history
+
+import "taxiqueue/internal/obs"
+
+// metrics are the store's registry collectors. Stats() reads these same
+// collectors, so /metrics and the JSON stats view cannot disagree.
+type metrics struct {
+	appends     *obs.Counter
+	records     *obs.Counter
+	blocks      *obs.Counter
+	bytes       *obs.Gauge
+	truncations *obs.Counter
+	writeErrs   *obs.Counter
+
+	qSeries      *obs.Histogram
+	qHeatmap     *obs.Histogram
+	qTransitions *obs.Histogram
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	q := func(kind string) *obs.Histogram {
+		return reg.Histogram("history_query_seconds",
+			"History query latency by query kind.",
+			obs.DefBuckets, obs.Label{Name: "query", Value: kind})
+	}
+	return &metrics{
+		appends: reg.Counter("history_appends_total",
+			"Append batches applied to the history store."),
+		records: reg.Counter("history_records_total",
+			"Non-empty (spot, slot) cells recorded into history."),
+		blocks: reg.Counter("history_blocks_total",
+			"Columnar blocks sealed (encoded) by the history store."),
+		bytes: reg.Gauge("history_bytes",
+			"Encoded history bytes on disk (file headers + CRC-framed blocks)."),
+		truncations: reg.Counter("history_truncations_total",
+			"Recoveries that truncated a damaged history file tail."),
+		writeErrs: reg.Counter("history_write_errors_total",
+			"Failed history frame writes or syncs (generation rotated)."),
+		qSeries:      q("series"),
+		qHeatmap:     q("heatmap"),
+		qTransitions: q("transitions"),
+	}
+}

@@ -135,6 +135,16 @@ type Config struct {
 	// the series on a process-wide /metrics endpoint.
 	Metrics *obs.Registry
 
+	// History, when set, receives every newly-final (spot, slot) context:
+	// each cross-shard watermark advance appends the snapshot's new final
+	// slots as HistoryDay's cells, and Flush/FlushUntil/Close double as
+	// history durability barriers. Appends are idempotent on the history
+	// side, so WAL replay and racing shards cannot double-record a slot.
+	History HistoryAppender
+	// HistoryDay is the day index the live feed's slots are recorded
+	// under (0 for a single-day feed).
+	HistoryDay int
+
 	// testStall, when set, runs at the top of every shard worker
 	// iteration; tests use it to wedge a shard and exercise backpressure.
 	// A stalled worker cannot handle control ops either, so tests must
@@ -168,6 +178,15 @@ func (c Config) withDefaults() Config {
 		c.FS = store.OS
 	}
 	return c
+}
+
+// HistoryAppender is the sink for finalized slot contexts (implemented by
+// history.Store; an interface here so ingest does not depend on the
+// storage layout). AppendSlots must be idempotent per (day, slot) and
+// safe for concurrent use; Flush is the durability barrier.
+type HistoryAppender interface {
+	AppendSlots(day, lo, hi int, at func(spot, slot int) (core.SlotFeatures, core.QueueType)) error
+	Flush() error
 }
 
 // Service is the sharded ingestion service. All methods are safe for
@@ -248,6 +267,10 @@ func NewService(cfg Config) (*Service, error) {
 		s.shards[i] = sh
 	}
 	s.agg.advance(s.minClosed())
+	// A replayed WAL finalized slots with only some shards alive (each
+	// shard replays before the next is built), so the per-shard emit hook
+	// saw minClosed == 0 throughout; record the post-replay watermark now.
+	s.appendHistory()
 	cfg.Metrics.GaugeFunc("ingest_aggregator_cells",
 		"Live (spot, slot) cells retained by the aggregator.",
 		func() float64 { return float64(s.agg.cellCount()) })
@@ -398,13 +421,23 @@ func (s *Service) broadcast(op ctlOp, at time.Time) error {
 // switch, and what graceful Close uses); under sustained load it runs
 // after at most one queue depth of records. Returns ErrClosed after
 // Close/Abort.
-func (s *Service) Flush() error { return s.control(opFlush, time.Time{}) }
+func (s *Service) Flush() error {
+	if err := s.control(opFlush, time.Time{}); err != nil {
+		return err
+	}
+	return s.flushHistory()
+}
 
 // FlushUntil finalizes every slot the feed can no longer touch given its
 // clock reached now, without closing the current slot — the timer-driven
 // variant for feeds that pause mid-slot. Returns ErrClosed after
 // Close/Abort.
-func (s *Service) FlushUntil(now time.Time) error { return s.control(opFlushUntil, now) }
+func (s *Service) FlushUntil(now time.Time) error {
+	if err := s.control(opFlushUntil, now); err != nil {
+		return err
+	}
+	return s.flushHistory()
+}
 
 // drainUntil is FlushUntil minus the durability barrier: the same slot
 // finalization and queue round-trip, but no synchronous WAL commit.
@@ -432,7 +465,11 @@ func (s *Service) Close() error {
 		return nil
 	}
 	s.stopped = true
-	return s.broadcast(opStop, time.Time{})
+	err := s.broadcast(opStop, time.Time{})
+	if herr := s.flushHistory(); err == nil {
+		err = herr
+	}
+	return err
 }
 
 // Abort stops the workers without flushing, draining or checkpointing —
@@ -468,6 +505,42 @@ func (s *Service) Health() error {
 		os.Remove(name)
 	}
 	return nil
+}
+
+// appendHistory records the current snapshot's final slots into the
+// configured history sink. Called on every cross-shard watermark advance
+// (from shard emit paths, possibly concurrently) and after WAL replay;
+// the history side's per-day watermark makes overlapping calls no-ops, so
+// ordering between racing shards does not matter. Append errors are
+// logged, not propagated — a failing history disk must not stall ingest
+// (the sink rotates/recovers on its own and the flush barrier surfaces
+// persistent failure).
+func (s *Service) appendHistory() {
+	h := s.cfg.History
+	if h == nil {
+		return
+	}
+	snap := s.Snapshot()
+	if snap.FinalBelow == 0 {
+		return
+	}
+	err := h.AppendSlots(s.cfg.HistoryDay, 0, snap.FinalBelow,
+		func(spot, slot int) (core.SlotFeatures, core.QueueType) {
+			f, l, _ := snap.Context(spot, slot)
+			return f, l
+		})
+	if err != nil {
+		log.Printf("ingest: history append: %v", err)
+	}
+}
+
+// flushHistory is the history half of the Flush durability barrier.
+func (s *Service) flushHistory() error {
+	if s.cfg.History == nil {
+		return nil
+	}
+	s.appendHistory()
+	return s.cfg.History.Flush()
 }
 
 // minClosed returns the cross-shard finality watermark: every slot below it

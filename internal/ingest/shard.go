@@ -598,6 +598,7 @@ func (sh *shard) emit(events []stream.Event) {
 	if wm != sh.lastWM {
 		sh.lastWM = wm
 		sh.svc.agg.advance(sh.svc.minClosed())
+		sh.svc.appendHistory()
 	}
 }
 

@@ -4,7 +4,7 @@
 # race-tests the concurrent packages.
 #
 # Usage:
-#   scripts/bench.sh                 # default: BENCH_OUT=BENCH_PR6.json
+#   scripts/bench.sh                 # default: BENCH_OUT=BENCH_PR7.json
 #   BENCHTIME=3x scripts/bench.sh    # more iterations per benchmark
 #   BENCH_COUNT=4 scripts/bench.sh   # -count=4, record the per-bench minimum
 #   BENCH_OUT=after.json scripts/bench.sh
@@ -19,7 +19,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${BENCH_OUT:-BENCH_PR6.json}"
+out="${BENCH_OUT:-BENCH_PR7.json}"
 benchtime="${BENCHTIME:-1x}"
 count="${BENCH_COUNT:-1}"
 raw="$(mktemp /tmp/bench_raw.XXXXXX.txt)"
@@ -39,6 +39,13 @@ ingest_benchtime="${INGEST_BENCHTIME:-200000x}"
 echo ">> go test -bench BenchmarkIngest -benchmem -benchtime $ingest_benchtime -count $count ./internal/ingest"
 go test -run '^$' -bench 'BenchmarkIngest' -benchmem \
 	-benchtime "$ingest_benchtime" -count "$count" -timeout 45m ./internal/ingest | tee -a "$raw"
+
+# History store: watermark-advance append (encode + seal), one range scan
+# and one heatmap aggregation over a week of 50 spots.
+history_benchtime="${HISTORY_BENCHTIME:-200x}"
+echo ">> go test -bench BenchmarkHistory -benchmem -benchtime $history_benchtime -count $count ./internal/history"
+go test -run '^$' -bench 'BenchmarkHistory' -benchmem \
+	-benchtime "$history_benchtime" -count "$count" -timeout 45m ./internal/history | tee -a "$raw"
 
 # Snapshot serving: cached read path vs the locked baseline, served
 # concurrently with a live feed (the PR 5 ≥5x criterion).
@@ -120,20 +127,32 @@ echo ">> queueload smoke ($smoke_dur against $smoke_addr)"
 bin="$(mktemp -d /tmp/bench_bin.XXXXXX)"
 go build -o "$bin/queued" ./cmd/queued
 go build -o "$bin/queueload" ./cmd/queueload
-"$bin/queued" -addr "$smoke_addr" -scale 0.05 -minpts 25 -live -shards 2 &
+hist_dir="$(mktemp -d /tmp/bench_hist.XXXXXX)"
+"$bin/queued" -addr "$smoke_addr" -scale 0.05 -minpts 25 -live -shards 2 \
+	-history "$hist_dir" &
 queued_pid=$!
-trap 'kill "$queued_pid" 2>/dev/null || true; rm -rf "$bin"' EXIT
+trap 'kill "$queued_pid" 2>/dev/null || true; rm -rf "$bin" "$hist_dir"' EXIT
 for i in $(seq 1 100); do
 	if curl -fsS "http://$smoke_addr/healthz" >/dev/null 2>&1; then break; fi
 	sleep 0.2
 done
 "$bin/queueload" -url "http://$smoke_addr" -duration "$smoke_dur" \
 	-clients 4 -feed -feed-scale 0.05
+
+# Range-scan smoke: finalize the fed slots, then drive the history mix
+# (series scans, heatmaps, transition matrices) against the same instance
+# while a second full-rate feed replays concurrently (its records dedup /
+# close-out harmlessly — the scans must not care); queueload exits
+# non-zero if any request errors.
+curl -fsS -X POST "http://$smoke_addr/ingest/flush" >/dev/null
+"$bin/queueload" -url "http://$smoke_addr" -duration "$smoke_dur" \
+	-clients 4 -feed -feed-scale 0.05 \
+	-mix "history=4,heatmap=2,transitions=1,spots=1"
 kill "$queued_pid" 2>/dev/null || true
 wait "$queued_pid" 2>/dev/null || true
-trap 'rm -rf "$bin"' EXIT
+trap 'rm -rf "$bin" "$hist_dir"' EXIT
 echo ">> queueload smoke clean"
 
-echo ">> go test -race ./internal/chaos ./internal/cluster ./internal/core ./internal/ingest ./internal/obs ./internal/store ./internal/stream"
-go test -race -count=1 ./internal/chaos ./internal/cluster ./internal/core ./internal/ingest ./internal/obs ./internal/store ./internal/stream
+echo ">> go test -race ./internal/chaos ./internal/cluster ./internal/core ./internal/history ./internal/ingest ./internal/obs ./internal/store ./internal/stream"
+go test -race -count=1 ./internal/chaos ./internal/cluster ./internal/core ./internal/history ./internal/ingest ./internal/obs ./internal/store ./internal/stream
 echo ">> race check clean"
