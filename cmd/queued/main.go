@@ -6,7 +6,10 @@
 //	GET /spots                  all detected queue spots with current context
 //	GET /spots?at=RFC3339       contexts at a specific time
 //	GET /context[?at=..]        per-spot context + §5.2 features for one slot
-//	GET /recommend?for=driver&lat=..&lon=..[&at=..]  ranked queue spots (§9)
+//	GET /recommend?for=driver&lat=..&lon=..[&at=..]  ranked queue spots (§9),
+//	                            ETA-aware: scored by expected state at arrival
+//	GET /forecast?spot=N[&at=RFC3339]  expected label/queue length/wait at a
+//	                            (future) instant, from learned slot profiles
 //	GET /monitors ...           the vehicle monitor service (see internal/monitor)
 //	GET /metrics                Prometheus text metrics (ingest + serve caches)
 //	GET /healthz                readiness: batch loaded, shards alive, WAL writable
@@ -45,17 +48,19 @@ package main
 import (
 	"encoding/json"
 	"flag"
-	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
 	"taxiqueue/internal/citymap"
 	"taxiqueue/internal/clean"
 	"taxiqueue/internal/core"
+	"taxiqueue/internal/forecast"
 	"taxiqueue/internal/geo"
 	"taxiqueue/internal/history"
 	"taxiqueue/internal/ingest"
@@ -106,10 +111,37 @@ func (s *server) handleContext(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, body)
 }
 
+// parseCoord parses one coordinate query parameter, rejecting anything a
+// distance can't be computed from: strconv syntax errors, NaN/Inf (which
+// fmt.Sscan used to accept — NaN > MaxDistance is false, so the radius
+// filter passed every spot and NaN scores made the sort comparator
+// non-transitive) and out-of-range degrees.
+func parseCoord(s string, limit float64) (float64, bool) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v < -limit || v > limit {
+		return 0, false
+	}
+	return v, true
+}
+
+// recommendAt resolves the default evaluation instant: the live feed's
+// newest final slot when one is wired in (defaultAt), else the historical
+// noon-of-batch-day fallback.
+func (s *server) recommendAt(v *batchView) time.Time {
+	if s.defaultAt != nil {
+		if t, ok := s.defaultAt(); ok {
+			return t
+		}
+	}
+	return v.grid.Start.Add(12 * time.Hour)
+}
+
 // handleRecommend serves the §9 recommendation feed for drivers (passenger
-// queues) and commuters (taxi queues). The ranking depends on the caller's
-// position, so the body is not cacheable — but the handler is still
-// lock-free: it reads one published view.
+// queues) and commuters (taxi queues), ranked by the expected state at
+// arrival: travel-time ETA from distance, forecast evaluated at at+ETA.
+// The ranking depends on the caller's position, so the body is not
+// cacheable — but the handler is still lock-free: it reads one published
+// view and one published profile table.
 func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	v := s.view.Load()
 	if v == nil {
@@ -127,16 +159,17 @@ func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "need for=driver|commuter", http.StatusBadRequest)
 		return
 	}
-	var lat, lon float64
-	if _, err := fmt.Sscan(q.Get("lat"), &lat); err != nil {
+	lat, ok := parseCoord(q.Get("lat"), 90)
+	if !ok {
 		http.Error(w, "bad lat", http.StatusBadRequest)
 		return
 	}
-	if _, err := fmt.Sscan(q.Get("lon"), &lon); err != nil {
+	lon, ok := parseCoord(q.Get("lon"), 180)
+	if !ok {
 		http.Error(w, "bad lon", http.StatusBadRequest)
 		return
 	}
-	at := v.grid.Start.Add(12 * time.Hour)
+	at := s.recommendAt(v)
 	if qs := q.Get("at"); qs != "" {
 		t, err := time.Parse(time.RFC3339, qs)
 		if err != nil {
@@ -145,19 +178,35 @@ func (s *server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		}
 		at = t
 	}
-	recs := recommend.Recommend(v.result, aud, geo.Point{Lat: lat, Lon: lon}, at, recommend.Options{})
+	var opts recommend.Options
+	if s.fc != nil {
+		tbl := s.fc.Table() // one load: every spot ranks against the same table
+		opts.Forecast = func(spot int, when time.Time) (core.QueueType, float64, time.Duration, bool) {
+			f, ok := tbl.Forecast(spot, when)
+			if !ok || f.Source == forecast.SourceNone {
+				return core.Unidentified, 0, 0, false
+			}
+			return f.Label, f.QLen, f.Wait, true
+		}
+	}
+	recs := recommend.Recommend(v.result, aud, geo.Point{Lat: lat, Lon: lon}, at, opts)
 	type recJSON struct {
-		Lat      float64 `json:"lat"`
-		Lon      float64 `json:"lon"`
-		Context  string  `json:"context"`
-		Distance float64 `json:"distance_m"`
-		Score    float64 `json:"score"`
+		Lat        float64 `json:"lat"`
+		Lon        float64 `json:"lon"`
+		Context    string  `json:"context"`
+		Distance   float64 `json:"distance_m"`
+		Score      float64 `json:"score"`
+		ETAS       float64 `json:"eta_s"`
+		ExpWaitS   float64 `json:"expected_wait_s"`
+		Forecasted bool    `json:"forecasted"`
 	}
 	out := make([]recJSON, 0, len(recs))
 	for _, rec := range recs {
 		out = append(out, recJSON{
 			Lat: rec.Spot.Pos.Lat, Lon: rec.Spot.Pos.Lon,
 			Context: rec.Context.String(), Distance: rec.Distance, Score: rec.Score,
+			ETAS: rec.ETA.Seconds(), ExpWaitS: rec.ExpectedWait.Seconds(),
+			Forecasted: rec.Forecasted,
 		})
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -181,6 +230,7 @@ func main() {
 	syncEvery := flag.Int("sync-every", 0, "live mode: WAL group-commit batch in records, the crash-loss window (0 = default)")
 	segmentBytes := flag.Int64("segment-bytes", 0, "live mode: WAL segment rotation size in bytes (0 = default 4MiB)")
 	histDir := flag.String("history", "", "directory for the columnar slot-context history store (enables /history, /heatmap, /transitions)")
+	fcDir := flag.String("forecast", "", "directory for forecast profile snapshots (empty = profiles learned in memory only)")
 	withPprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof")
 	flag.Parse()
 
@@ -201,6 +251,24 @@ func main() {
 		st := hist.Stats()
 		log.Printf("queued: history store at %s (%d blocks, %d records recovered)",
 			*histDir, st.Blocks, st.Records)
+	}
+
+	// The forecast learner always runs (memory-only without -forecast):
+	// /forecast and the ETA-aware /recommend ranking work in every mode.
+	fc, err := newForecastLearner(*fcDir, srv.result(), obs.Default)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.fc = fc
+	if hist != nil {
+		// Seed the profiles from every recorded day; the per-cell day
+		// watermarks make this idempotent over a recovered snapshot.
+		if err := fc.BackfillHistory(hist); err != nil {
+			log.Printf("queued: forecast backfill: %v", err)
+		}
+	}
+	if st := fc.Stats(); st.WeightFloor > 0 {
+		log.Printf("queued: forecast profiles ready (total weight ~%d)", st.WeightFloor)
 	}
 
 	var liveSrv *liveServer
@@ -229,16 +297,34 @@ func main() {
 			SegmentBytes:    *segmentBytes,
 			Metrics:         obs.Default, // one process-wide /metrics scrape
 		}
+		// Every watermark advance records the newly-final contexts into
+		// the history store (when enabled) AND folds them into the
+		// forecast profiles; the live feed replays one day, recorded as
+		// day 0.
+		sinks := []ingest.HistoryAppender{fc}
 		if hist != nil {
-			// Every watermark advance records the newly-final contexts;
-			// the live feed replays one day, recorded as day 0.
-			cfg.History = hist
+			sinks = append(sinks, hist)
 		}
+		cfg.History = ingest.TeeHistory(sinks...)
 		svc, err := ingest.NewService(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		liveSrv = newLiveServer(srv, svc, obs.Default)
+		// Live /recommend defaults `at` to the newest final slot — what
+		// the feed says now — never the batch day's noon.
+		grid := srv.result().Config.Grid
+		srv.defaultAt = func() (time.Time, bool) {
+			if hist != nil {
+				if day, slot, ok := hist.Latest(); ok {
+					return hist.TimeOf(day, slot), true
+				}
+			}
+			if snap := svc.Snapshot(); snap != nil && snap.FinalBelow > 0 {
+				return grid.Start.Add(time.Duration(snap.FinalBelow-1) * grid.SlotLen), true
+			}
+			return time.Time{}, false
+		}
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		go func() {
@@ -252,16 +338,25 @@ func main() {
 					log.Printf("queued: history close: %v", err)
 				}
 			}
+			if err := fc.Close(); err != nil {
+				log.Printf("queued: forecast close: %v", err)
+			}
 			os.Exit(0)
 		}()
 		log.Printf("queued: live ingest on /ingest (%d shards, %s)", *shards, policy)
 	}
 
-	if hist != nil && liveSrv == nil {
-		// Batch mode: the analysis pass is the history source. Day 0 is the
-		// initial run; each -refresh lap backfills the next day index.
-		if err := hist.BackfillResult(0, srv.result()); err != nil {
-			log.Printf("queued: history backfill: %v", err)
+	if liveSrv == nil {
+		// Batch mode: the analysis pass is the history and profile source.
+		// Day 0 is the initial run; each -refresh lap backfills the next
+		// day index.
+		if hist != nil {
+			if err := hist.BackfillResult(0, srv.result()); err != nil {
+				log.Printf("queued: history backfill: %v", err)
+			}
+		}
+		if err := fc.ObserveResult(0, srv.result()); err != nil {
+			log.Printf("queued: forecast observe: %v", err)
 		}
 	}
 
@@ -281,6 +376,9 @@ func main() {
 					if err := hist.BackfillResult(int(i), srv.result()); err != nil {
 						log.Printf("queued: history backfill day %d: %v", i, err)
 					}
+				}
+				if err := fc.ObserveResult(int(i), srv.result()); err != nil {
+					log.Printf("queued: forecast observe day %d: %v", i, err)
 				}
 			}
 		}()
@@ -308,6 +406,7 @@ func main() {
 	if hist != nil {
 		registerHistory(mux, &historyServer{hist: hist})
 	}
+	registerForecast(mux, &forecastServer{fc: fc})
 	mux.HandleFunc("/recommend", srv.handleRecommend)
 	mux.Handle("/monitors", monSvc)
 	mux.Handle("/monitors/", monSvc)

@@ -137,6 +137,16 @@ func TestHandleRecommendValidation(t *testing.T) {
 		"/recommend?for=driver&lat=x&lon=103",            // bad lat
 		"/recommend?for=driver&lat=1.3&lon=x",            // bad lon
 		"/recommend?for=driver&lat=1.3&lon=103.8&at=bad", // bad time
+		// Regression: fmt.Sscan used to accept non-finite coordinates;
+		// NaN > MaxDistance is false, so the radius filter passed every
+		// spot and the NaN scores broke the sort comparator.
+		"/recommend?for=driver&lat=NaN&lon=103.8",
+		"/recommend?for=driver&lat=1.3&lon=NaN",
+		"/recommend?for=driver&lat=%2BInf&lon=103.8",
+		"/recommend?for=driver&lat=1.3&lon=-Inf",
+		// Out-of-range degrees are rejected too.
+		"/recommend?for=driver&lat=91&lon=103.8",
+		"/recommend?for=driver&lat=1.3&lon=-200",
 	} {
 		w := httptest.NewRecorder()
 		srv.handleRecommend(w, httptest.NewRequest("GET", url, nil))

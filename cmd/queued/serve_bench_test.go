@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"log"
 	"net/http"
 	"net/http/httptest"
@@ -16,6 +17,7 @@ import (
 	"taxiqueue/internal/core"
 	"taxiqueue/internal/ingest"
 	"taxiqueue/internal/mdt"
+	"taxiqueue/internal/obs"
 	"taxiqueue/internal/sim"
 )
 
@@ -362,6 +364,49 @@ func BenchmarkServeContextCached(b *testing.B) {
 func BenchmarkServeContextLocked(b *testing.B) {
 	env := newServeEnv(b, true)
 	benchGet(b, env.locked.handleContext, env.slotURLs("/context"))
+}
+
+// withForecast wires a seeded forecast learner onto the env's server so
+// /recommend ranks ETA-aware and /forecast answers from real profiles.
+func (e *serveEnv) withForecast(tb testing.TB) *forecastServer {
+	tb.Helper()
+	fc, err := newForecastLearner("", e.srv.result(), obs.NewRegistry())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { fc.Close() })
+	if err := fc.ObserveResult(0, e.srv.result()); err != nil {
+		tb.Fatal(err)
+	}
+	e.srv.fc = fc
+	return &forecastServer{fc: fc}
+}
+
+// BenchmarkServeRecommend measures the ETA-aware ranking end to end —
+// parse, one view + one table load, per-spot forecast at arrival, sort,
+// encode — racing the live feeder like the other serve benchmarks.
+func BenchmarkServeRecommend(b *testing.B) {
+	env := newServeEnv(b, true)
+	env.withForecast(b)
+	benchGet(b, env.srv.handleRecommend, []string{
+		"/recommend?for=driver&lat=1.30&lon=103.83",
+		"/recommend?for=commuter&lat=1.29&lon=103.82",
+		"/recommend?for=driver&lat=1.28&lon=103.85",
+	})
+}
+
+// BenchmarkServeForecast measures one profile evaluation through the
+// HTTP handler (parse + table load + evaluate + encode).
+func BenchmarkServeForecast(b *testing.B) {
+	env := newServeEnv(b, true)
+	fs := env.withForecast(b)
+	nspots := len(env.srv.result().Spots)
+	urls := make([]string, 0, 16)
+	for i := 0; i < 16; i++ {
+		at := env.grid.Start.Add(time.Duration(i*3) * time.Hour)
+		urls = append(urls, fmt.Sprintf("/forecast?spot=%d&at=%s", i%nspots, at.UTC().Format(time.RFC3339)))
+	}
+	benchGet(b, fs.handleForecast, urls)
 }
 
 // BenchmarkServeEstimate* compare the version-cached /estimate body with

@@ -3,11 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
+
+	"taxiqueue/internal/obs"
 )
 
 // TestServeRaceStress hammers every read endpoint while a writer feeds the
@@ -19,12 +22,43 @@ import (
 // lock-free read path.
 func TestServeRaceStress(t *testing.T) {
 	env := newServeEnv(t, false)
+	fc, err := newForecastLearner("", env.srv.result(), obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	if err := fc.ObserveResult(0, env.srv.result()); err != nil {
+		t.Fatal(err)
+	}
+	env.srv.fc = fc
 	mux := http.NewServeMux()
 	registerLive(mux, env.live)
+	registerForecast(mux, &forecastServer{fc: fc})
+	mux.HandleFunc("/recommend", env.srv.handleRecommend)
 	registerOps(mux, env.srv, env.svc, env.svc.Registry(), false)
 
 	done := make(chan struct{})
 	var wg sync.WaitGroup
+
+	// Profile writer: keep folding fresh days into the learner while the
+	// forecast/recommend readers race it — the RCU table republish must be
+	// safe against concurrent lock-free loads.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for day := 1; ; day++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := fc.ObserveResult(day, env.srv.result()); err != nil {
+				t.Errorf("observe day %d: %v", day, err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
 
 	// Writer: replay the day in batches, nudging the watermark forward with
 	// periodic partial flushes, then a full flush at the end of the feed.
@@ -99,6 +133,25 @@ func TestServeRaceStress(t *testing.T) {
 				}
 				if w := get("/estimate"); w.Code != 200 {
 					t.Errorf("estimate status %d", w.Code)
+					return
+				}
+				// The forecast + ETA-aware recommend read path rides the
+				// same lock-free contract: one table load per request,
+				// racing the profile writer's republishes.
+				spot := (i + r) % len(env.srv.result().Spots)
+				at := env.grid.Start.Add(time.Duration(i%96) * 30 * time.Minute)
+				fu := fmt.Sprintf("/forecast?spot=%d&at=%s", spot, at.UTC().Format(time.RFC3339))
+				if w := get(fu); w.Code != 200 {
+					t.Errorf("forecast status %d: %s", w.Code, w.Body.String())
+					return
+				}
+				var fj forecastJSON
+				if err := json.Unmarshal(get(fu).Body.Bytes(), &fj); err != nil {
+					t.Errorf("forecast: %v", err)
+					return
+				}
+				if w := get("/recommend?for=commuter&lat=1.30&lon=103.83"); w.Code != 200 {
+					t.Errorf("recommend status %d: %s", w.Code, w.Body.String())
 					return
 				}
 				if i%16 == r {

@@ -9,6 +9,7 @@ import (
 	"taxiqueue/internal/clean"
 	"taxiqueue/internal/cluster"
 	"taxiqueue/internal/core"
+	"taxiqueue/internal/forecast"
 	"taxiqueue/internal/obs"
 	"taxiqueue/internal/sim"
 )
@@ -136,6 +137,15 @@ type server struct {
 
 	spotsCache   *renderCache
 	contextCache *renderCache
+
+	// fc, when set (before serving), upgrades /recommend to rank by the
+	// expected state at arrival and backs /forecast. Reads load its
+	// published table atomically — still no lock on the read path.
+	fc *forecast.Learner
+	// defaultAt, when set, supplies the default /recommend evaluation
+	// instant (live mode: the newest final slot); nil falls back to
+	// noon of the batch day.
+	defaultAt func() (time.Time, bool)
 }
 
 // newServer wires the response caches to reg (obs.Default in the binary,

@@ -86,7 +86,7 @@ type mixEntry struct {
 func parseMix(s string) ([]mixEntry, error) {
 	known := map[string]bool{
 		"spots": true, "context": true, "recommend": true, "estimate": true,
-		"history": true, "heatmap": true, "transitions": true,
+		"history": true, "heatmap": true, "transitions": true, "forecast": true,
 	}
 	var mix []mixEntry
 	for _, part := range strings.Split(s, ",") {
@@ -103,7 +103,7 @@ func parseMix(s string) ([]mixEntry, error) {
 			}
 		}
 		if !known[name] {
-			return nil, fmt.Errorf("unknown endpoint %q (want spots|context|recommend|estimate|history|heatmap|transitions)", name)
+			return nil, fmt.Errorf("unknown endpoint %q (want spots|context|recommend|estimate|history|heatmap|transitions|forecast)", name)
 		}
 		if w > 0 {
 			mix = append(mix, mixEntry{name, w})
@@ -232,6 +232,18 @@ func reqURL(cfg Config, name string, rng *rand.Rand, start time.Time, spots int)
 		return u
 	case "transitions":
 		return fmt.Sprintf("%s/transitions?spot=%d", cfg.URL, spot)
+	case "forecast":
+		// A future instant: the profile table answers for any day, so sweep
+		// a few days ahead of the grid start (wall-clock "now" when no
+		// -start is given — the server clamps it into the grid itself).
+		u := fmt.Sprintf("%s/forecast?spot=%d", cfg.URL, spot)
+		if !start.IsZero() {
+			day := rng.Intn(4)
+			slot := rng.Intn(48)
+			t := start.Add(time.Duration(day)*24*time.Hour + time.Duration(slot)*30*time.Minute + 15*time.Minute)
+			u += "&at=" + t.UTC().Format(time.RFC3339)
+		}
+		return u
 	default: // recommend
 		aud := "driver"
 		if rng.Intn(2) == 1 {

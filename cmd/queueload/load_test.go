@@ -36,6 +36,64 @@ func TestParseMix(t *testing.T) {
 	if err != nil || len(mix) != 3 {
 		t.Fatalf("range-scan mix = %+v, %v", mix, err)
 	}
+	// And so is the forecast endpoint.
+	mix, err = parseMix("forecast=3,recommend=1")
+	if err != nil || len(mix) != 2 || mix[0].name != "forecast" || mix[0].weight != 3 {
+		t.Fatalf("forecast mix = %+v, %v", mix, err)
+	}
+}
+
+// TestRunForecastMix drives a forecast-heavy mix against a stub: spot
+// indexes must come from the probed /spots count and `at`, when sent,
+// must parse as RFC3339.
+func TestRunForecastMix(t *testing.T) {
+	var hits, badReq atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/forecast", func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		q := r.URL.Query()
+		if s := q.Get("spot"); s != "0" && s != "1" {
+			badReq.Add(1)
+			http.Error(w, "bad spot", http.StatusBadRequest)
+			return
+		}
+		if at := q.Get("at"); at != "" {
+			if _, err := time.Parse(time.RFC3339, at); err != nil {
+				badReq.Add(1)
+				http.Error(w, "bad at", http.StatusBadRequest)
+				return
+			}
+		}
+		w.Write([]byte("{}\n"))
+	})
+	mux.HandleFunc("/spots", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`[{},{}]`))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) { w.Write([]byte("ok")) })
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	cfg := defaultConfig()
+	cfg.URL = ts.URL
+	cfg.Duration = 200 * time.Millisecond
+	cfg.Clients = 2
+	cfg.Mix = "forecast"
+	cfg.Start = "2026-01-05T00:00:00Z"
+	sum, err := run(cfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range sum.Endpoints {
+		if ep.Errors != 0 {
+			t.Fatalf("%s: %d errors", ep.Name, ep.Errors)
+		}
+	}
+	if hits.Load() == 0 {
+		t.Fatalf("/forecast never hit: %+v", sum.Endpoints)
+	}
+	if badReq.Load() != 0 {
+		t.Fatalf("%d malformed forecast requests", badReq.Load())
+	}
 }
 
 // TestRunHistoryMix drives the range-scan mix against a stub exposing the

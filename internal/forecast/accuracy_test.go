@@ -1,0 +1,169 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"taxiqueue/internal/core"
+)
+
+// dayMatrix is one simulated day's ground truth: per (spot, slot) the
+// closed features and the engine label.
+type dayMatrix struct {
+	feats  [][]core.SlotFeatures // [spot][slot]
+	labels [][]core.QueueType
+}
+
+// simDays generates a multi-day replay with a per-spot daily shape plus
+// seeded day-to-day noise — the regime the empirical forecaster must
+// handle: standing taxi queues in the evening (λ·t̄dep ≥ 1, where M/M/c
+// has no stationary answer), a busy stable midday, and quiet nights.
+// Labels come from core.Classify, so ground truth is exactly what the
+// engine would have recorded for those features.
+func simDays(nspots, slots, ndays int, seed int64, th core.Thresholds) []dayMatrix {
+	rng := rand.New(rand.NewSource(seed))
+	noise := func(scale float64) float64 { return 1 + scale*(2*rng.Float64()-1) }
+	days := make([]dayMatrix, ndays)
+	for d := range days {
+		m := dayMatrix{
+			feats:  make([][]core.SlotFeatures, nspots),
+			labels: make([][]core.QueueType, nspots),
+		}
+		for spot := 0; spot < nspots; spot++ {
+			fs := make([]core.SlotFeatures, slots)
+			for j := range fs {
+				// Phase shift per spot so profiles differ across spots.
+				h := (float64(j)/2 + float64(spot)) // hour of day, roughly
+				switch {
+				case h >= 17 && h < 22: // evening: saturated taxi queue (C3-ish)
+					fs[j] = core.SlotFeatures{
+						TWait: time.Duration(12 * noise(0.25) * float64(time.Minute)),
+						NArr:  10 * noise(0.3),
+						QLen:  3.5 * noise(0.3),
+						TDep:  time.Duration(3 * noise(0.25) * float64(time.Minute)),
+						NDep:  8 * noise(0.3),
+					}
+				case h >= 9 && h < 15: // midday: passengers consuming taxis (C2-ish)
+					fs[j] = core.SlotFeatures{
+						TWait: time.Duration(40 * noise(0.3) * float64(time.Second)),
+						NArr:  20 * noise(0.3),
+						QLen:  0.4 * noise(0.4),
+						TDep:  time.Duration(25 * noise(0.3) * float64(time.Second)),
+						NDep:  60 * noise(0.3),
+					}
+				case h >= 2 && h < 6: // dead of night: nothing
+					fs[j] = core.SlotFeatures{}
+				default: // shoulder: sparse long waits (C4-ish)...
+					fs[j] = core.SlotFeatures{
+						TWait: time.Duration(9 * noise(0.3) * float64(time.Minute)),
+						NArr:  2 * noise(0.5),
+						QLen:  0.5 * noise(0.4),
+						TDep:  time.Duration(5 * noise(0.4) * float64(time.Minute)),
+						NDep:  2 * noise(0.5),
+					}
+					// ...except some days the slot is simply dead. This is
+					// the day-to-day label volatility: persistence copies
+					// yesterday's flip, the profile learns the modal label.
+					if rng.Float64() < 0.2 {
+						fs[j] = core.SlotFeatures{}
+					}
+				}
+			}
+			m.feats[spot] = fs
+			m.labels[spot] = core.Classify(fs, th)
+		}
+		days[d] = m
+	}
+	return days
+}
+
+// TestForecastBeatsPersistenceBaseline is the accuracy property test: on
+// a replayed simulated multi-day feed, each day d is forecast from ONLY
+// days < d (fold-after-evaluate), and the profile forecaster must beat
+// the persistence baseline "tomorrow = today" on both label error rate
+// and queue-length MAE, with the label error bounded.
+func TestForecastBeatsPersistenceBaseline(t *testing.T) {
+	const (
+		nspots = 4
+		ndays  = 9
+		warmup = 2 // days before scoring starts (baseline needs day d-1 anyway)
+	)
+	cfg := testConfig(nspots)
+	th := testThresholds()
+	grid := cfg.Grid
+	days := simDays(nspots, grid.Slots, ndays, 11, th)
+
+	l, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var (
+		fcLabelErr, baseLabelErr int
+		fcAbsQ, baseAbsQ         float64
+		cells                    int
+	)
+	dayLen := time.Duration(grid.Slots) * grid.SlotLen
+	for d := 0; d < ndays; d++ {
+		if d >= warmup {
+			tbl := l.Table()
+			for spot := 0; spot < nspots; spot++ {
+				for j := 0; j < grid.Slots; j++ {
+					at := grid.Start.Add(time.Duration(d)*dayLen + time.Duration(j)*grid.SlotLen)
+					fc, ok := tbl.Forecast(spot, at)
+					if !ok {
+						t.Fatalf("day %d spot %d slot %d: forecast not ok", d, spot, j)
+					}
+					if fc.Source == SourceNone {
+						t.Fatalf("day %d spot %d slot %d: unobserved after %d folded days", d, spot, j, d)
+					}
+					truth := days[d]
+					yesterday := days[d-1]
+					if fc.Label != truth.labels[spot][j] {
+						fcLabelErr++
+					}
+					if yesterday.labels[spot][j] != truth.labels[spot][j] {
+						baseLabelErr++
+					}
+					fcAbsQ += math.Abs(fc.QLen - truth.feats[spot][j].QLen)
+					baseAbsQ += math.Abs(yesterday.feats[spot][j].QLen - truth.feats[spot][j].QLen)
+					cells++
+				}
+			}
+		}
+		// Fold the day only AFTER forecasting it: day d was predicted from
+		// strictly prior days' profiles.
+		truth := days[d]
+		err := l.AppendSlots(d, 0, grid.Slots, func(spot, slot int) (core.SlotFeatures, core.QueueType) {
+			return truth.feats[spot][slot], truth.labels[spot][slot]
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fcRate := float64(fcLabelErr) / float64(cells)
+	baseRate := float64(baseLabelErr) / float64(cells)
+	fcMAE := fcAbsQ / float64(cells)
+	baseMAE := baseAbsQ / float64(cells)
+	t.Logf("cells=%d  label error: forecast %.3f vs persistence %.3f  |  QLen MAE: forecast %.3f vs persistence %.3f",
+		cells, fcRate, baseRate, fcMAE, baseMAE)
+
+	if fcRate >= baseRate {
+		t.Errorf("forecast label error %.3f not better than persistence baseline %.3f", fcRate, baseRate)
+	}
+	if fcMAE >= baseMAE {
+		t.Errorf("forecast QLen MAE %.3f not better than persistence baseline %.3f", fcMAE, baseMAE)
+	}
+	// Bounded error, not just relative: the EW profile of a ±30%-noise
+	// daily shape must stay close to the truth.
+	if fcRate > 0.15 {
+		t.Errorf("forecast label error %.3f above the 15%% bound", fcRate)
+	}
+	if fcMAE > 1.0 {
+		t.Errorf("forecast QLen MAE %.3f above the 1.0 bound", fcMAE)
+	}
+}

@@ -1,0 +1,67 @@
+package forecast
+
+import (
+	"testing"
+	"time"
+
+	"taxiqueue/internal/core"
+)
+
+// benchLearner seeds a learner shaped like the real deployment: the
+// simulated spot count, a week of folded days, mixed regimes.
+func benchLearner(b *testing.B, nspots int) *Learner {
+	b.Helper()
+	cfg := testConfig(nspots)
+	l, err := Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f3, f2 := c3Feats(), c2Feats()
+	for day := 0; day < 7; day++ {
+		err := l.AppendSlots(day, 0, cfg.Grid.Slots, func(spot, slot int) (core.SlotFeatures, core.QueueType) {
+			if (spot+slot)%2 == 0 {
+				return f3, core.C3
+			}
+			return f2, core.C2
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return l
+}
+
+// BenchmarkForecast is one profile-table evaluation — the unit of work
+// behind /forecast and each spot ranked by the ETA-aware /recommend.
+func BenchmarkForecast(b *testing.B) {
+	l := benchLearner(b, 64)
+	defer l.Close()
+	tbl := l.Table()
+	at := testGrid().Start.Add(10*24*time.Hour + 9*time.Hour)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fc, ok := tbl.Forecast(i%64, at.Add(time.Duration(i%48)*30*time.Minute))
+		if !ok || fc.Source == SourceNone {
+			b.Fatal("benchmark forecast missed")
+		}
+	}
+}
+
+// BenchmarkAppendDay folds one full day across every spot — the write
+// amplification each watermark-advance batch pays.
+func BenchmarkAppendDay(b *testing.B) {
+	l := benchLearner(b, 64)
+	defer l.Close()
+	f3 := c3Feats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := l.AppendSlots(7+i, 0, l.Grid().Slots, func(_, _ int) (core.SlotFeatures, core.QueueType) {
+			return f3, core.C3
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

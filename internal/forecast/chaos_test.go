@@ -1,0 +1,418 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"taxiqueue/internal/chaos"
+	"taxiqueue/internal/citymap"
+	"taxiqueue/internal/core"
+	"taxiqueue/internal/geo"
+	"taxiqueue/internal/history"
+)
+
+// durableConfig is testConfig plus a tmpdir.
+func durableConfig(t *testing.T, nspots int) Config {
+	cfg := testConfig(nspots)
+	cfg.Dir = t.TempDir()
+	return cfg
+}
+
+// fillDays folds seeded pseudo-random days and returns the learner still
+// open; the same (seed, days) always produces the same profile state.
+func fillDays(t *testing.T, l *Learner, days int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for day := 0; day < days; day++ {
+		feats := make([][]core.SlotFeatures, l.Spots())
+		labels := make([][]core.QueueType, l.Spots())
+		for spot := range feats {
+			fs := make([]core.SlotFeatures, l.Grid().Slots)
+			for j := range fs {
+				if rng.Float64() < 0.5 {
+					fs[j] = core.SlotFeatures{
+						TWait: time.Duration(rng.Int63n(int64(15 * time.Minute))),
+						NArr:  rng.Float64() * 40,
+						QLen:  rng.Float64() * 5,
+						TDep:  time.Duration(rng.Int63n(int64(5 * time.Minute))),
+						NDep:  rng.Float64() * 50,
+					}
+				}
+			}
+			feats[spot] = fs
+			labels[spot] = core.Classify(fs, testThresholds())
+		}
+		err := l.AppendSlots(day, 0, l.Grid().Slots, func(spot, slot int) (core.SlotFeatures, core.QueueType) {
+			return feats[spot][slot], labels[spot][slot]
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// sameTables compares every profile cell of two learners exactly.
+func sameTables(t *testing.T, a, b *Learner) {
+	t.Helper()
+	ta, tb := a.Table(), b.Table()
+	if ta.Spots() != tb.Spots() || ta.Slots() != tb.Slots() {
+		t.Fatalf("table shapes differ: %dx%d vs %dx%d", ta.Spots(), ta.Slots(), tb.Spots(), tb.Slots())
+	}
+	for spot := 0; spot < ta.Spots(); spot++ {
+		for j := 0; j < ta.Slots(); j++ {
+			if pa, pb := ta.Profile(spot, j), tb.Profile(spot, j); pa != pb {
+				t.Fatalf("profile (%d, %d) differs:\n  %+v\n  %+v", spot, j, pa, pb)
+			}
+		}
+	}
+}
+
+// TestKillRestartRecover: flush, drop the learner without Close (a kill),
+// reopen — the recovered table must be bit-identical, and learning must
+// continue from the per-cell day watermarks (a replay of an old day is
+// still a no-op).
+func TestKillRestartRecover(t *testing.T) {
+	cfg := durableConfig(t, 5)
+	l, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillDays(t, l, 4, 42)
+	// No Close: the last Flush is the durable image.
+
+	r, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if st := r.Stats(); st.Truncations != 0 {
+		t.Fatalf("clean image reopened with %d truncations", st.Truncations)
+	}
+	sameTables(t, l, r)
+
+	// Replaying recorded days into the recovered learner must not move it.
+	before := r.Table().Profile(2, 9)
+	fillDays(t, r, 4, 42)
+	if after := r.Table().Profile(2, 9); after != before {
+		t.Fatalf("replay moved a recovered profile:\n  %+v\n  %+v", before, after)
+	}
+	// And a genuinely new day must still fold: day 9 after day 3 decays
+	// the old weight by β^6 and adds 1.
+	appendUniform(t, r, 9, c3Feats(), core.C3)
+	want := before.Weight*math.Pow(0.7, 6) + 1
+	if w := r.Table().Profile(2, 9).Weight; math.Abs(w-want) > 1e-9 {
+		t.Fatalf("new day fold weight %v, want %v", w, want)
+	}
+	_ = l.Close()
+}
+
+// TestChaosWriteFaultsHeal hammers the snapshot path with short writes
+// and fsync errors: failures must be counted, the previous generation
+// must keep the state recoverable, and once the disk heals one Flush
+// leaves a clean image that reopens bit-identical.
+func TestChaosWriteFaultsHeal(t *testing.T) {
+	faults := chaos.New(chaos.Config{Seed: 42, ShortWriteProb: 0.4, SyncErrProb: 0.3})
+	cfg := durableConfig(t, 5)
+	cfg.FS = faults.FS(nil)
+	l, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillDays(t, l, 5, 7) // flushes under fire; some will fail
+	if l.Stats().PersistErrs == 0 {
+		t.Fatal("no persist errors counted under 40% short-write probability")
+	}
+
+	faults.SetEnabled(false)
+	if err := l.Flush(); err != nil { // heals: the owed snapshot lands
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if st := r.Stats(); st.Truncations != 0 {
+		t.Fatalf("healed image reopened with %d truncations", st.Truncations)
+	}
+	sameTables(t, l, r)
+}
+
+// TestChaosSilentTornTail lets the disk lie (short write reported as
+// success), kills, and reopens. A torn generation that stayed newest on
+// disk must be discarded and counted; one superseded by a later clean
+// flush is already gone — either way the reopen must succeed and an
+// idempotent replay of the feed must converge to the fault-free state.
+func TestChaosSilentTornTail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short")
+	}
+	tornSeen := false
+	for seed := int64(1); seed <= 8; seed++ {
+		faults := chaos.New(chaos.Config{Seed: seed, SilentTornProb: 0.5})
+		cfg := durableConfig(t, 4)
+		cfg.FS = faults.FS(nil)
+		l, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillDays(t, l, 4, 13) // believes everything landed
+		faults.SetEnabled(false)
+
+		r, err := Open(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r.Stats().Truncations > 0 {
+			tornSeen = true
+		}
+		// Whatever survived, an idempotent replay of the full feed
+		// converges to the fault-free state.
+		fillDays(t, r, 4, 13)
+		clean, err := Open(durableConfig(t, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillDays(t, clean, 4, 13)
+		sameTables(t, r, clean)
+		_ = l.Close()
+		_ = r.Close()
+		_ = clean.Close()
+	}
+	if !tornSeen {
+		t.Fatal("no seed left a torn newest generation — the scenario never exercised recovery")
+	}
+}
+
+// TestTearTailSweep plants deterministic torn tails of many sizes in the
+// newest generation — mid-payload, inside the frame header, inside the
+// file header — and reopens each: the damaged generation must be
+// discarded and counted, and a BackfillHistory from the history store
+// must restore the exact fault-free table.
+func TestTearTailSweep(t *testing.T) {
+	// Reference: a history store and a learner fed from it.
+	hcfg := historyConfig(t, 4)
+	h, err := history.Open(hcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	fillHistoryDays(t, h, 3, 99)
+
+	cfg := durableConfig(t, 4)
+	l, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.BackfillHistory(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The durable image is one generation file; find it.
+	ents, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var genName string
+	for _, e := range ents {
+		if _, ok := genOf(e.Name()); ok {
+			genName = e.Name()
+		}
+	}
+	if genName == "" {
+		t.Fatal("no generation file on disk after Close")
+	}
+	image, err := os.ReadFile(filepath.Join(cfg.Dir, genName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := len(image)
+
+	cuts := []int{1, 3, 17, 100, size / 3, size / 2, size - len(fcMagic) - 2, size - 3}
+	for _, n := range cuts {
+		if n <= 0 || n > size {
+			continue
+		}
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, genName), image, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := chaos.TearTail(filepath.Join(dir, genName), n); err != nil {
+			t.Fatal(err)
+		}
+		torn := cfg
+		torn.Dir = dir
+		r, err := Open(torn)
+		if err != nil {
+			t.Fatalf("cut %d: %v", n, err)
+		}
+		if st := r.Stats(); st.Truncations != 1 {
+			t.Fatalf("cut %d: %d truncations, want 1", n, st.Truncations)
+		}
+		// A profile table is a cache over history: re-seed and compare.
+		if err := r.BackfillHistory(h); err != nil {
+			t.Fatalf("cut %d: backfill: %v", n, err)
+		}
+		sameTables(t, r, l)
+
+		// The repaired image must reopen clean and identical.
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Open(torn)
+		if err != nil {
+			t.Fatalf("cut %d reopen: %v", n, err)
+		}
+		if st := r2.Stats(); st.Truncations != 0 {
+			t.Fatalf("cut %d: repaired image reopened with %d truncations", n, st.Truncations)
+		}
+		sameTables(t, r2, l)
+		r2.Close()
+	}
+}
+
+// TestConfigMismatch: a complete snapshot written under a different
+// configuration must be a hard error, not a silent truncation.
+func TestConfigMismatch(t *testing.T) {
+	cfg := durableConfig(t, 4)
+	l, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillDays(t, l, 2, 5)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Spots = 3
+	other.Thresholds = cfg.Thresholds[:3]
+	if _, err := Open(other); err == nil {
+		t.Fatal("spot-count mismatch opened without error")
+	}
+	beta := cfg
+	beta.Beta = 0.9
+	if _, err := Open(beta); err == nil {
+		t.Fatal("beta mismatch opened without error")
+	}
+}
+
+// historyConfig builds a history store config matching testConfig's grid
+// and spot count.
+func historyConfig(t *testing.T, nspots int) history.Config {
+	spots := make([]core.QueueSpot, nspots)
+	ths := make([]core.Thresholds, nspots)
+	for i := range spots {
+		spots[i] = core.QueueSpot{
+			Pos:  geo.Point{Lat: 1.28 + 0.01*float64(i), Lon: 103.8},
+			Zone: citymap.Central,
+		}
+		ths[i] = testThresholds()
+	}
+	return history.Config{
+		Grid:       testGrid(),
+		Spots:      spots,
+		Thresholds: ths,
+		Amplify:    core.PaperAmplification,
+		Dir:        t.TempDir(),
+	}
+}
+
+// fillHistoryDays records seeded days into the history store. Features
+// must round-trip the store's bit-exact encoding, so they are drawn from
+// the count-derivable shapes the encoder preserves exactly... simplest:
+// whole-second durations and integral counts.
+func fillHistoryDays(t *testing.T, h *history.Store, days int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	slotSec := h.Grid().SlotLen.Seconds()
+	for day := 0; day < days; day++ {
+		type rec struct {
+			f core.SlotFeatures
+			l core.QueueType
+		}
+		cells := make(map[[2]int]rec)
+		for spot := 0; spot < h.Spots(); spot++ {
+			for j := 0; j < h.Grid().Slots; j++ {
+				if rng.Float64() < 0.5 {
+					continue
+				}
+				f := core.SlotFeatures{
+					TWait: time.Duration(1+rng.Int63n(900)) * time.Second,
+					NArr:  float64(1 + rng.Intn(40)),
+					TDep:  time.Duration(1+rng.Int63n(300)) * time.Second,
+					NDep:  float64(1 + rng.Intn(50)),
+				}
+				f.QLen = f.TWait.Seconds() * (f.NArr / slotSec)
+				l := core.Classify([]core.SlotFeatures{f}, testThresholds())[0]
+				cells[[2]int{spot, j}] = rec{f, l}
+			}
+		}
+		err := h.AppendSlots(day, 0, h.Grid().Slots, func(spot, slot int) (core.SlotFeatures, core.QueueType) {
+			if r, ok := cells[[2]int{spot, slot}]; ok {
+				return r.f, r.l
+			}
+			return core.SlotFeatures{}, core.Unidentified
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackfillMatchesOnline: seeding a fresh learner from the history
+// store must produce exactly the table an online learner built from the
+// same feed — backfill and live are the same fold.
+func TestBackfillMatchesOnline(t *testing.T) {
+	h, err := history.Open(historyConfig(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	fillHistoryDays(t, h, 3, 21)
+
+	online, err := Open(testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer online.Close()
+	for _, day := range h.Days() {
+		wm := h.Watermark(day)
+		bySpot := make([][]history.Point, 4)
+		for spot := 0; spot < 4; spot++ {
+			bySpot[spot] = h.Series(spot, h.TimeOf(day, 0), h.TimeOf(day, wm))
+		}
+		err := online.AppendSlots(day, 0, wm, func(spot, slot int) (core.SlotFeatures, core.QueueType) {
+			return bySpot[spot][slot].Feats, bySpot[spot][slot].Label
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	seeded, err := Open(testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seeded.Close()
+	if err := seeded.BackfillHistory(h); err != nil {
+		t.Fatal(err)
+	}
+	sameTables(t, seeded, online)
+}

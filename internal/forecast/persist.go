@@ -1,0 +1,312 @@
+package forecast
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// On-disk layout. Profiles live in generation files fc-<gen>.fp:
+//
+//	magic   "TQFCST1\n" (8 bytes)
+//	stamp   uvarint slots, uvarint slotLen ns, uvarint nspots,
+//	        grid start UnixNano (8 bytes LE), Beta (float64 LE) — a
+//	        learner may only recover files written under its exact
+//	        configuration
+//	frame   4-byte LE payload length, 4-byte LE CRC32 (IEEE), payload
+//
+// The payload is the whole cell matrix in (spot, slot) order: per cell a
+// uvarint lastDay+1 (0 = never observed), and for observed cells the ten
+// profile float64s (Weight, NArr, NDep, WaitSec, TDepSec, QLen,
+// LabelW[0..4]) little-endian.
+//
+// Unlike the history store's append-only block log, a profile table is
+// small (spots × slots × ~85 bytes) and every fold rewrites means in
+// place, so durability is snapshot-shaped: each Flush writes the complete
+// table as ONE frame into a FRESH generation and removes the superseded
+// generations on success. A write/sync fault abandons the new generation
+// (counted, removed best-effort) and keeps the previous one — the learner
+// stays dirty and the next Flush retries. Recovery walks generations
+// newest-first and keeps the first clean one; damaged files are removed
+// and counted. A recovered table may therefore lag the in-memory state it
+// was snapshotted from — that is fine, because profiles are a pure
+// idempotent fold over the history store's closed slots, so a
+// BackfillHistory after Open converges to the fault-free state.
+const (
+	fcMagic      = "TQFCST1\n"
+	maxFrameSize = 1 << 30
+)
+
+var errTorn = errors.New("forecast: torn file")
+
+func genFileName(gen int) string { return fmt.Sprintf("fc-%d.fp", gen) }
+
+// genOf parses fc-<gen>.fp; ok is false for anything else.
+func genOf(name string) (int, bool) {
+	if !strings.HasPrefix(name, "fc-") || !strings.HasSuffix(name, ".fp") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(name[len("fc-") : len(name)-len(".fp")])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+func appendF64(buf []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+}
+
+// headerBytes renders magic + config stamp.
+func (l *Learner) headerBytes() []byte {
+	buf := make([]byte, 0, 48)
+	buf = append(buf, fcMagic...)
+	buf = binary.AppendUvarint(buf, uint64(l.cfg.Grid.Slots))
+	buf = binary.AppendUvarint(buf, uint64(l.cfg.Grid.SlotLen))
+	buf = binary.AppendUvarint(buf, uint64(l.cfg.Spots))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(l.cfg.Grid.Start.UnixNano()))
+	buf = appendF64(buf, l.cfg.Beta)
+	return buf
+}
+
+// payloadBytes encodes the whole cell matrix.
+func (l *Learner) payloadBytes() []byte {
+	buf := make([]byte, 0, len(l.cells)*l.cfg.Grid.Slots*88)
+	for spot := range l.cells {
+		for j := range l.cells[spot] {
+			c := &l.cells[spot][j]
+			if c.lastDay < 0 {
+				buf = binary.AppendUvarint(buf, 0)
+				continue
+			}
+			buf = binary.AppendUvarint(buf, uint64(c.lastDay)+1)
+			p := &c.p
+			buf = appendF64(buf, p.Weight)
+			buf = appendF64(buf, p.NArr)
+			buf = appendF64(buf, p.NDep)
+			buf = appendF64(buf, p.WaitSec)
+			buf = appendF64(buf, p.TDepSec)
+			buf = appendF64(buf, p.QLen)
+			for i := range p.LabelW {
+				buf = appendF64(buf, p.LabelW[i])
+			}
+		}
+	}
+	return buf
+}
+
+func frameBytes(payload []byte) []byte {
+	buf := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// persistLocked snapshots the table into a fresh generation when dirty.
+// Failure keeps the previous generation and the dirty bit — the next
+// Flush retries; reads never care.
+func (l *Learner) persistLocked() {
+	if l.cfg.Dir == "" || !l.dirty {
+		return
+	}
+	gen := l.gen
+	l.gen++
+	name := filepath.Join(l.cfg.Dir, genFileName(gen))
+	if !l.writeGen(name) {
+		l.met.persistErrs.Inc()
+		_ = os.Remove(name) // best effort; recovery skips damaged files anyway
+		return
+	}
+	l.dirty = false
+	l.met.persists.Inc()
+	// Superseded generations go away; a survivor is harmless (older gen,
+	// recovery prefers the newest clean one).
+	ents, err := os.ReadDir(l.cfg.Dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if g, ok := genOf(e.Name()); ok && g != gen {
+			_ = l.cfg.FS.Remove(filepath.Join(l.cfg.Dir, e.Name()))
+		}
+	}
+}
+
+// writeGen writes one complete generation file through the FS seam.
+func (l *Learner) writeGen(name string) bool {
+	f, err := l.cfg.FS.Create(name)
+	if err != nil {
+		return false
+	}
+	hdr := l.headerBytes()
+	frame := frameBytes(l.payloadBytes())
+	if _, err := f.Write(hdr); err != nil {
+		_ = f.Close()
+		return false
+	}
+	if _, err := f.Write(frame); err != nil {
+		_ = f.Close()
+		return false
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return false
+	}
+	if err := f.Close(); err != nil {
+		return false
+	}
+	l.met.bytes.Set(int64(len(hdr) + len(frame)))
+	return true
+}
+
+// recover loads the newest clean generation under cfg.Dir. Damaged
+// generations (torn header, bad frame length/CRC, short payload) are
+// removed and counted, and the next-older one is tried; an empty table is
+// the final fallback. A complete header stamped with a different
+// configuration is a hard error. Reads and repairs use the real
+// filesystem — only the write path goes through the fault-injectable
+// cfg.FS, mirroring the WAL and the history store.
+func (l *Learner) recover() error {
+	ents, err := os.ReadDir(l.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("forecast: recover: %w", err)
+	}
+	gens := make([]int, 0, len(ents))
+	for _, e := range ents {
+		if g, ok := genOf(e.Name()); ok {
+			gens = append(gens, g)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(gens)))
+	if len(gens) > 0 {
+		l.gen = gens[0] + 1
+	}
+	for _, g := range gens {
+		name := filepath.Join(l.cfg.Dir, genFileName(g))
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return fmt.Errorf("forecast: recover %s: %w", name, err)
+		}
+		err = l.recoverFile(name, data)
+		if err == nil {
+			l.met.bytes.Set(int64(len(data)))
+			return nil
+		}
+		if !errors.Is(err, errTorn) {
+			return err
+		}
+		_ = os.Remove(name)
+		l.met.truncations.Inc()
+	}
+	return nil
+}
+
+// recoverFile parses one generation file into the cells. Returns errTorn
+// for any damage, a hard error for a config mismatch.
+func (l *Learner) recoverFile(name string, data []byte) error {
+	if len(data) < len(fcMagic) {
+		return errTorn // torn creation
+	}
+	if string(data[:len(fcMagic)]) != fcMagic {
+		return fmt.Errorf("forecast: %s: not a forecast profile file", name)
+	}
+	r := &byteReader{buf: data, off: len(fcMagic)}
+	slots := r.uvarint()
+	slotLen := r.uvarint()
+	nspots := r.uvarint()
+	start := r.u64()
+	beta := r.f64()
+	if r.err != nil {
+		return errTorn // torn header
+	}
+	if int(slots) != l.cfg.Grid.Slots ||
+		int64(slotLen) != int64(l.cfg.Grid.SlotLen) ||
+		int(nspots) != l.cfg.Spots ||
+		int64(start) != l.cfg.Grid.Start.UnixNano() ||
+		math.Float64bits(beta) != math.Float64bits(l.cfg.Beta) {
+		return fmt.Errorf("forecast: %s: config mismatch (written under a different grid/spots/beta)", name)
+	}
+	if r.off+8 > len(data) {
+		return errTorn
+	}
+	plen := binary.LittleEndian.Uint32(data[r.off:])
+	crc := binary.LittleEndian.Uint32(data[r.off+4:])
+	if plen > maxFrameSize || r.off+8+int(plen) != len(data) {
+		return errTorn
+	}
+	payload := data[r.off+8:]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return errTorn
+	}
+	pr := &byteReader{buf: payload}
+	cells := make([][]cell, l.cfg.Spots)
+	for spot := range cells {
+		row := make([]cell, l.cfg.Grid.Slots)
+		for j := range row {
+			day := pr.uvarint()
+			if day == 0 {
+				row[j].lastDay = -1
+				continue
+			}
+			row[j].lastDay = int(day) - 1
+			p := &row[j].p
+			p.Weight = pr.f64()
+			p.NArr = pr.f64()
+			p.NDep = pr.f64()
+			p.WaitSec = pr.f64()
+			p.TDepSec = pr.f64()
+			p.QLen = pr.f64()
+			for i := range p.LabelW {
+				p.LabelW[i] = pr.f64()
+			}
+		}
+		cells[spot] = row
+	}
+	if pr.err != nil || pr.off != len(payload) {
+		return errTorn // CRC passed but shape is wrong — treat as damage
+	}
+	l.cells = cells
+	return nil
+}
+
+// byteReader is a cursor over an encoded buffer; the first failure sticks.
+type byteReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *byteReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.err = errTorn
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *byteReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.buf) {
+		r.err = errTorn
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *byteReader) f64() float64 { return math.Float64frombits(r.u64()) }

@@ -158,6 +158,57 @@ func verifyDay(t *testing.T, s *Store, day int, cells map[[2]int]Record) {
 	}
 }
 
+// TestSeriesFarFutureClamp is the regression test for the unbounded day
+// scan: Series used to iterate every day in [from, to] even when `to`
+// lay centuries past the newest record, walking ~350M empty days per
+// request. The scan must clamp at the newest recorded day — O(data),
+// not O(requested range) — and still return exactly the stored points.
+func TestSeriesFarFutureClamp(t *testing.T) {
+	s, err := Open(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := fillDay(t, s, 0, 17)
+	grid := s.Grid()
+	far := time.Date(2999, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	// An unclamped scan walks every empty day up to `far` (capped only by
+	// Duration saturation at ~106K days) on EVERY query — ~1 ms each vs
+	// microseconds clamped. 1000 queries separate the two by ~60×.
+	start := time.Now()
+	var pts []Point
+	for i := 0; i < 1000; i++ {
+		pts = s.Series(1, grid.Start, far)
+	}
+	if elapsed := time.Since(start); elapsed > 300*time.Millisecond {
+		t.Fatalf("1000 far-future Series calls took %v — day scan is not clamped", elapsed)
+	}
+	if len(pts) != grid.Slots {
+		t.Fatalf("%d points, want the recorded day's %d", len(pts), grid.Slots)
+	}
+	for j, p := range pts {
+		if p.Day != 0 || p.Slot != j {
+			t.Fatalf("point %d at (day %d, slot %d)", j, p.Day, p.Slot)
+		}
+		if want, active := cells[[2]int{1, j}]; active && (p.Label != want.Label || p.Feats != want.Feats) {
+			t.Fatalf("slot %d decoded %v %+v, want %v %+v", j, p.Label, p.Feats, want.Label, want.Feats)
+		}
+	}
+
+	// An empty store short-circuits entirely.
+	empty, err := Open(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	if pts := empty.Series(0, grid.Start, far); pts != nil {
+		t.Fatalf("empty store returned %d points", len(pts))
+	}
+	if elapsed := time.Since(start); elapsed > 300*time.Millisecond {
+		t.Fatalf("empty-store far-future Series took %v", elapsed)
+	}
+}
+
 // TestEncodeRoundtrip seals randomized blocks and asserts decodeBlock
 // reproduces every record and summary field exactly.
 func TestEncodeRoundtrip(t *testing.T) {

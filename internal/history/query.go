@@ -44,6 +44,17 @@ func (s *Store) Series(spot int, from, to time.Time) []Point {
 	if !ok {
 		return nil
 	}
+	// Clamp the scan to the newest recorded day: beyond it every slot is
+	// above its (zero) watermark anyway, and an unclamped far-future `to`
+	// would iterate hundreds of millions of empty days. Cost must be
+	// O(data), not O(requested range).
+	days := ix.days()
+	if len(days) == 0 {
+		return nil
+	}
+	if last := days[len(days)-1]; toDay > last {
+		toDay, toSlot = last, s.cfg.Grid.Slots-1
+	}
 
 	var out []Point
 	for day := fromDay; day <= toDay; day++ {

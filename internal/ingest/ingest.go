@@ -189,6 +189,50 @@ type HistoryAppender interface {
 	Flush() error
 }
 
+// TeeHistory fans every append and flush out to several sinks — the way
+// the history store and the forecast learner both hang off one Config
+// seam. Nil sinks are skipped; the first error wins but every sink still
+// sees every call (a failing history disk must not starve the forecaster,
+// and vice versa). Nil or all-nil input returns nil, usable directly as
+// Config.History.
+func TeeHistory(sinks ...HistoryAppender) HistoryAppender {
+	kept := make([]HistoryAppender, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return teeHistory(kept)
+}
+
+type teeHistory []HistoryAppender
+
+func (t teeHistory) AppendSlots(day, lo, hi int, at func(spot, slot int) (core.SlotFeatures, core.QueueType)) error {
+	var first error
+	for _, s := range t {
+		if err := s.AppendSlots(day, lo, hi, at); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (t teeHistory) Flush() error {
+	var first error
+	for _, s := range t {
+		if err := s.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // Service is the sharded ingestion service. All methods are safe for
 // concurrent use.
 type Service struct {

@@ -1,0 +1,88 @@
+package ingest
+
+import (
+	"errors"
+	"testing"
+
+	"taxiqueue/internal/core"
+)
+
+// sinkRecorder is a fake HistoryAppender that records every call.
+type sinkRecorder struct {
+	appends [][3]int // (day, lo, hi)
+	flushes int
+	fail    error
+}
+
+func (s *sinkRecorder) AppendSlots(day, lo, hi int, at func(int, int) (core.SlotFeatures, core.QueueType)) error {
+	s.appends = append(s.appends, [3]int{day, lo, hi})
+	// Pull one cell through so the tee's shared `at` closure is exercised
+	// by every sink.
+	at(0, lo)
+	return s.fail
+}
+
+func (s *sinkRecorder) Flush() error {
+	s.flushes++
+	return s.fail
+}
+
+func TestTeeHistoryFansOut(t *testing.T) {
+	a, b := &sinkRecorder{}, &sinkRecorder{}
+	tee := TeeHistory(a, b)
+	reads := 0
+	at := func(spot, slot int) (core.SlotFeatures, core.QueueType) {
+		reads++
+		return core.SlotFeatures{}, core.C1
+	}
+	if err := tee.AppendSlots(0, 3, 7, at); err != nil {
+		t.Fatal(err)
+	}
+	if err := tee.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := [3]int{0, 3, 7}
+	if len(a.appends) != 1 || a.appends[0] != want || len(b.appends) != 1 || b.appends[0] != want {
+		t.Fatalf("appends a=%v b=%v, want one %v each", a.appends, b.appends, want)
+	}
+	if a.flushes != 1 || b.flushes != 1 {
+		t.Fatalf("flushes a=%d b=%d", a.flushes, b.flushes)
+	}
+	if reads != 2 {
+		t.Fatalf("context read %d times, want once per sink", reads)
+	}
+}
+
+// TestTeeHistoryFirstErrorWins: a failing sink reports its error, but the
+// other sinks still see every call — a broken history disk must not
+// starve the forecast learner, and vice versa.
+func TestTeeHistoryFirstErrorWins(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	a, b, c := &sinkRecorder{fail: errA}, &sinkRecorder{fail: errB}, &sinkRecorder{}
+	tee := TeeHistory(a, b, c)
+	at := func(int, int) (core.SlotFeatures, core.QueueType) { return core.SlotFeatures{}, core.C1 }
+	if err := tee.AppendSlots(1, 0, 4, at); err != errA {
+		t.Fatalf("append error %v, want first sink's %v", err, errA)
+	}
+	if err := tee.Flush(); err != errA {
+		t.Fatalf("flush error %v, want first sink's %v", err, errA)
+	}
+	for name, s := range map[string]*sinkRecorder{"a": a, "b": b, "c": c} {
+		if len(s.appends) != 1 || s.flushes != 1 {
+			t.Fatalf("sink %s saw %d appends, %d flushes — error short-circuited the fan-out", name, len(s.appends), s.flushes)
+		}
+	}
+}
+
+func TestTeeHistoryNilHandling(t *testing.T) {
+	if tee := TeeHistory(); tee != nil {
+		t.Fatal("empty tee not nil")
+	}
+	if tee := TeeHistory(nil, nil); tee != nil {
+		t.Fatal("all-nil tee not nil")
+	}
+	a := &sinkRecorder{}
+	if tee := TeeHistory(nil, a, nil); tee != HistoryAppender(a) {
+		t.Fatal("single live sink not returned directly")
+	}
+}

@@ -104,6 +104,26 @@ func (q MMc) Wq() (time.Duration, error) {
 	return time.Duration(lq / q.Lambda * float64(time.Second)), nil
 }
 
+// L returns the stationary mean number in system: the waiting line plus
+// the offered load in service, Lq + λ/μ. This is what the forecaster
+// compares against the §5.2 Little's-Law queue length L̄.
+func (q MMc) L() (float64, error) {
+	lq, err := q.Lq()
+	if err != nil {
+		return 0, err
+	}
+	return lq + q.Lambda/q.Mu, nil
+}
+
+// W returns the stationary mean time in system (waiting plus service).
+func (q MMc) W() (time.Duration, error) {
+	wq, err := q.Wq()
+	if err != nil {
+		return 0, err
+	}
+	return wq + time.Duration(float64(time.Second)/q.Mu), nil
+}
+
 // FIFO is a timestamped first-in-first-out queue of string-identified
 // entities (taxis at a stand, passengers at a curb). It tracks the running
 // statistics needed to verify Little's Law against simulated ground truth.

@@ -186,6 +186,45 @@ func TestMMcUnstable(t *testing.T) {
 	if _, err := q.Wq(); err == nil {
 		t.Fatal("Wq of unstable queue did not error")
 	}
+	if _, err := q.L(); err == nil {
+		t.Fatal("L of unstable queue did not error")
+	}
+	if _, err := q.W(); err == nil {
+		t.Fatal("W of unstable queue did not error")
+	}
+}
+
+// TestMMcSystemQuantities checks the number-in-system and time-in-system
+// helpers: L = Lq + λ/μ, W = Wq + 1/μ, and Little's Law L = λW ties the
+// four together.
+func TestMMcSystemQuantities(t *testing.T) {
+	q := MMc{Lambda: 1, Mu: 1, Servers: 2}
+	lq, err := q.Lq()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := q.L()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l-(lq+1)) > 1e-9 { // λ/μ = 1
+		t.Fatalf("L = %g, want Lq + λ/μ = %g", l, lq+1)
+	}
+	wq, err := q.Wq()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := q.W()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := w - wq - time.Second; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("W = %v, want Wq + 1/μ = %v", w, wq+time.Second)
+	}
+	// Little's Law across the system: L = λW.
+	if got := q.Lambda * w.Seconds(); math.Abs(l-got) > 1e-6 {
+		t.Fatalf("Little's Law: L = %g but λW = %g", l, got)
+	}
 }
 
 func TestFIFOOrdering(t *testing.T) {

@@ -5,6 +5,7 @@
 package recommend
 
 import (
+	"math"
 	"sort"
 	"time"
 
@@ -36,7 +37,24 @@ type Recommendation struct {
 	Context  core.QueueType
 	Distance float64 // meters from the query position
 	Score    float64 // higher is better
+	// ETA is the estimated travel time to the spot at the audience's
+	// travel speed; the context and wait are evaluated at at+ETA, not at
+	// the query instant — the queue that matters is the one you arrive to.
+	ETA time.Duration
+	// ExpectedWait is the forecast wait at arrival; zero when no forecast
+	// answered (Forecasted false).
+	ExpectedWait time.Duration
+	// Forecasted says a profile-table forecast (not just the batch label
+	// grid) produced Context/ExpectedWait.
+	Forecasted bool
 }
+
+// ForecastFunc evaluates a spot's expected queue state at an instant —
+// the seam internal/forecast plugs in through (a func type, so this
+// package needs no forecast dependency). spot is the index into the
+// ranked Result's Spots. ok false means "no learned answer"; the ranking
+// then falls back to the batch label grid.
+type ForecastFunc func(spot int, at time.Time) (label core.QueueType, qlen float64, wait time.Duration, ok bool)
 
 // Options tunes the ranking.
 type Options struct {
@@ -47,9 +65,20 @@ type Options struct {
 	// HalfDistanceMeters is the distance at which the distance factor
 	// halves; 1.5 km when zero.
 	HalfDistanceMeters float64
+	// TravelSpeedMps converts distance to ETA; 0 picks the audience
+	// default (≈30 km/h driving for drivers, ≈5 km/h walking for
+	// commuters).
+	TravelSpeedMps float64
+	// HalfWait is the expected wait at which the wait factor halves;
+	// 10 min when zero.
+	HalfWait time.Duration
+	// Forecast, when set, upgrades the ranking from "label at the query
+	// instant" to "expected state at arrival": context, queue length and
+	// wait come from the forecast evaluated per spot at at+ETA.
+	Forecast ForecastFunc
 }
 
-func (o Options) withDefaults() Options {
+func (o Options) withDefaults(aud Audience) Options {
 	if o.MaxDistanceMeters == 0 {
 		o.MaxDistanceMeters = 5000
 	}
@@ -58,6 +87,16 @@ func (o Options) withDefaults() Options {
 	}
 	if o.HalfDistanceMeters == 0 {
 		o.HalfDistanceMeters = 1500
+	}
+	if o.TravelSpeedMps == 0 {
+		if aud == ForDriver {
+			o.TravelSpeedMps = 8.3 // ~30 km/h urban driving
+		} else {
+			o.TravelSpeedMps = 1.4 // walking
+		}
+	}
+	if o.HalfWait == 0 {
+		o.HalfWait = 10 * time.Minute
 	}
 	return o
 }
@@ -95,9 +134,18 @@ func contextWeight(aud Audience, q core.QueueType) float64 {
 
 // Recommend ranks the analyzed spots for the audience at the given position
 // and time. The score combines the context weight, the spot's activity
-// (pickup volume, saturating) and an inverse-distance factor.
+// (pickup volume, saturating), an inverse-distance factor and — when a
+// forecast is wired in — an inverse-expected-wait factor, all evaluated at
+// the arrival instant at+ETA rather than at itself.
+//
+// A non-finite position returns nil: NaN distances would defeat the radius
+// filter (NaN > max is false) and make the sort comparator non-transitive.
 func Recommend(res *core.Result, aud Audience, from geo.Point, at time.Time, opts Options) []Recommendation {
-	opts = opts.withDefaults()
+	if math.IsNaN(from.Lat) || math.IsInf(from.Lat, 0) ||
+		math.IsNaN(from.Lon) || math.IsInf(from.Lon, 0) {
+		return nil
+	}
+	opts = opts.withDefaults(aud)
 	grid := res.Config.Grid
 	var out []Recommendation
 	for i := range res.Spots {
@@ -106,7 +154,16 @@ func Recommend(res *core.Result, aud Audience, from geo.Point, at time.Time, opt
 		if d > opts.MaxDistanceMeters {
 			continue
 		}
-		ctx := sa.LabelAt(grid, at)
+		eta := time.Duration(d / opts.TravelSpeedMps * float64(time.Second))
+		arrival := at.Add(eta)
+		ctx := sa.LabelAt(grid, arrival)
+		var wait time.Duration
+		forecasted := false
+		if opts.Forecast != nil {
+			if label, _, w, ok := opts.Forecast(i, arrival); ok {
+				ctx, wait, forecasted = label, w, true
+			}
+		}
 		w := contextWeight(aud, ctx)
 		if w == 0 {
 			continue
@@ -114,11 +171,18 @@ func Recommend(res *core.Result, aud Audience, from geo.Point, at time.Time, opt
 		activity := float64(sa.Spot.PickupCount)
 		activityFactor := activity / (activity + 100) // saturates toward 1
 		distFactor := opts.HalfDistanceMeters / (opts.HalfDistanceMeters + d)
+		waitFactor := 1.0
+		if forecasted {
+			waitFactor = float64(opts.HalfWait) / float64(opts.HalfWait+wait)
+		}
 		out = append(out, Recommendation{
-			Spot:     sa.Spot,
-			Context:  ctx,
-			Distance: d,
-			Score:    w * activityFactor * distFactor,
+			Spot:         sa.Spot,
+			Context:      ctx,
+			Distance:     d,
+			Score:        w * activityFactor * distFactor * waitFactor,
+			ETA:          eta,
+			ExpectedWait: wait,
+			Forecasted:   forecasted,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {

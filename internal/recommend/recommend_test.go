@@ -1,6 +1,7 @@
 package recommend
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -137,6 +138,119 @@ func TestEmergingPassengerQueues(t *testing.T) {
 	// Slot 0 has no predecessor.
 	if EmergingPassengerQueues(res, res.Config.Grid.Start) != nil {
 		t.Fatal("slot 0 reported emerging queues")
+	}
+}
+
+// TestNonFinitePositionRejected is the regression test for the NaN/Inf
+// query bug: NaN distances pass the radius filter (NaN > max is false)
+// and poison the sort comparator, so a non-finite position used to
+// return every spot in arbitrary order. It must return nothing.
+func TestNonFinitePositionRejected(t *testing.T) {
+	res := fakeResult(
+		spotAt(1000, 300, core.C2),
+		spotAt(2000, 300, core.C1),
+	)
+	bad := []geo.Point{
+		{Lat: math.NaN(), Lon: 103.83},
+		{Lat: 1.30, Lon: math.NaN()},
+		{Lat: math.Inf(1), Lon: 103.83},
+		{Lat: 1.30, Lon: math.Inf(-1)},
+		{Lat: math.NaN(), Lon: math.NaN()},
+	}
+	for _, p := range bad {
+		if recs := Recommend(res, ForDriver, p, noon, Options{}); recs != nil {
+			t.Fatalf("position %+v produced %d recommendations, want nil", p, len(recs))
+		}
+	}
+	// Sanity: a finite position still works.
+	if recs := Recommend(res, ForDriver, origin, noon, Options{}); len(recs) == 0 {
+		t.Fatal("finite position returned nothing")
+	}
+}
+
+// TestForecastRanksByExpectedWait: with a forecast wired in, a nearer
+// spot with a long expected wait must lose to a farther spot with a
+// short one, and the recommendation carries ETA/ExpectedWait/Forecasted.
+func TestForecastRanksByExpectedWait(t *testing.T) {
+	near := spotAt(900, 300, core.C2)
+	far := spotAt(1100, 300, core.C2)
+	res := fakeResult(near, far)
+	fc := func(spot int, at time.Time) (core.QueueType, float64, time.Duration, bool) {
+		if spot == 0 {
+			return core.C2, 5, 40 * time.Minute, true
+		}
+		return core.C2, 0.5, 30 * time.Second, true
+	}
+	recs := Recommend(res, ForDriver, origin, noon, Options{Forecast: fc})
+	if len(recs) != 2 {
+		t.Fatalf("got %d recommendations, want 2", len(recs))
+	}
+	if recs[0].Spot.Pos != far.Spot.Pos {
+		t.Fatal("short-wait far spot did not outrank long-wait near spot")
+	}
+	for _, r := range recs {
+		if !r.Forecasted {
+			t.Fatal("forecast answered but Forecasted is false")
+		}
+		if r.ETA <= 0 {
+			t.Fatalf("ETA %v not positive", r.ETA)
+		}
+	}
+	if recs[0].ExpectedWait != 30*time.Second || recs[1].ExpectedWait != 40*time.Minute {
+		t.Fatalf("expected waits %v / %v", recs[0].ExpectedWait, recs[1].ExpectedWait)
+	}
+	// ETA follows the audience travel speed: same query as a commuter
+	// (walking) must see a longer ETA for the same spot.
+	walk := Recommend(res, ForCommuter, origin, noon, Options{Forecast: func(int, time.Time) (core.QueueType, float64, time.Duration, bool) {
+		return core.C3, 1, time.Minute, true
+	}})
+	if len(walk) == 0 || walk[0].ETA <= recs[0].ETA {
+		t.Fatal("walking ETA not longer than driving ETA")
+	}
+}
+
+// TestForecastEvaluatesAtArrival: the context is read at at+ETA, not at
+// the query instant — a spot whose label flips to C2 only after the
+// travel time must be ranked by the arrival-slot label.
+func TestForecastEvaluatesAtArrival(t *testing.T) {
+	sa := spotAt(2000, 300, core.C3) // C3 now: worthless for a driver...
+	for j := 25; j < 48; j++ {       // ...but C2 from 12:30 on
+		sa.Labels[j] = core.C2
+	}
+	res := fakeResult(sa)
+	// Walking 2 km at 1.4 m/s ≈ 24 min: a commuter queries at 12:10, lands
+	// past 12:30. Use a driver with an artificially slow speed instead so
+	// the arrival crosses the slot boundary.
+	at := time.Date(2026, 1, 5, 12, 10, 0, 0, time.UTC)
+	recs := Recommend(res, ForDriver, origin, at, Options{TravelSpeedMps: 1.0})
+	if len(recs) != 1 {
+		t.Fatalf("got %d recommendations, want 1 (arrival-time C2)", len(recs))
+	}
+	if recs[0].Context != core.C2 {
+		t.Fatalf("context %v, want C2 at arrival", recs[0].Context)
+	}
+	// At driving speed the arrival stays inside the C3 slot: filtered out.
+	if recs := Recommend(res, ForDriver, origin, at, Options{}); len(recs) != 0 {
+		t.Fatalf("driving-speed arrival still C3, got %d recommendations", len(recs))
+	}
+}
+
+// TestForecastFallback: when the forecast declines (ok false), the batch
+// label grid still drives the ranking and Forecasted stays false.
+func TestForecastFallback(t *testing.T) {
+	res := fakeResult(spotAt(1000, 300, core.C2))
+	fc := func(int, time.Time) (core.QueueType, float64, time.Duration, bool) {
+		return core.Unidentified, 0, 0, false
+	}
+	recs := Recommend(res, ForDriver, origin, noon, Options{Forecast: fc})
+	if len(recs) != 1 {
+		t.Fatalf("got %d recommendations, want 1", len(recs))
+	}
+	if recs[0].Forecasted || recs[0].ExpectedWait != 0 {
+		t.Fatalf("declined forecast leaked into the result: %+v", recs[0])
+	}
+	if recs[0].Context != core.C2 {
+		t.Fatalf("context %v, want batch label C2", recs[0].Context)
 	}
 }
 

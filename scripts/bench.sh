@@ -4,7 +4,7 @@
 # race-tests the concurrent packages.
 #
 # Usage:
-#   scripts/bench.sh                 # default: BENCH_OUT=BENCH_PR7.json
+#   scripts/bench.sh                 # default: BENCH_OUT=BENCH_PR8.json
 #   BENCHTIME=3x scripts/bench.sh    # more iterations per benchmark
 #   BENCH_COUNT=4 scripts/bench.sh   # -count=4, record the per-bench minimum
 #   BENCH_OUT=after.json scripts/bench.sh
@@ -19,7 +19,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${BENCH_OUT:-BENCH_PR7.json}"
+out="${BENCH_OUT:-BENCH_PR8.json}"
 benchtime="${BENCHTIME:-1x}"
 count="${BENCH_COUNT:-1}"
 raw="$(mktemp /tmp/bench_raw.XXXXXX.txt)"
@@ -47,8 +47,17 @@ echo ">> go test -bench BenchmarkHistory -benchmem -benchtime $history_benchtime
 go test -run '^$' -bench 'BenchmarkHistory' -benchmem \
 	-benchtime "$history_benchtime" -count "$count" -timeout 45m ./internal/history | tee -a "$raw"
 
+# Forecast profiles: one table evaluation (the /forecast unit of work)
+# and a full-day fold across 64 spots.
+forecast_benchtime="${FORECAST_BENCHTIME:-100000x}"
+echo ">> go test -bench 'BenchmarkForecast|BenchmarkAppendDay' -benchmem -benchtime $forecast_benchtime -count $count ./internal/forecast"
+go test -run '^$' -bench 'BenchmarkForecast|BenchmarkAppendDay' -benchmem \
+	-benchtime "$forecast_benchtime" -count "$count" -timeout 45m ./internal/forecast | tee -a "$raw"
+
 # Snapshot serving: cached read path vs the locked baseline, served
-# concurrently with a live feed (the PR 5 ≥5x criterion).
+# concurrently with a live feed (the PR 5 ≥5x criterion); the pattern also
+# picks up BenchmarkServeRecommend (ETA-aware ranking) and
+# BenchmarkServeForecast.
 serve_benchtime="${SERVE_BENCHTIME:-5000x}"
 echo ">> go test -bench BenchmarkServe -benchmem -benchtime $serve_benchtime -count $count ./cmd/queued"
 go test -run '^$' -bench 'BenchmarkServe' -benchmem \
@@ -147,12 +156,12 @@ done
 curl -fsS -X POST "http://$smoke_addr/ingest/flush" >/dev/null
 "$bin/queueload" -url "http://$smoke_addr" -duration "$smoke_dur" \
 	-clients 4 -feed -feed-scale 0.05 \
-	-mix "history=4,heatmap=2,transitions=1,spots=1"
+	-mix "history=4,heatmap=2,transitions=1,spots=1,forecast=2,recommend=1"
 kill "$queued_pid" 2>/dev/null || true
 wait "$queued_pid" 2>/dev/null || true
 trap 'rm -rf "$bin" "$hist_dir"' EXIT
 echo ">> queueload smoke clean"
 
-echo ">> go test -race ./internal/chaos ./internal/cluster ./internal/core ./internal/history ./internal/ingest ./internal/obs ./internal/store ./internal/stream"
-go test -race -count=1 ./internal/chaos ./internal/cluster ./internal/core ./internal/history ./internal/ingest ./internal/obs ./internal/store ./internal/stream
+echo ">> go test -race ./internal/chaos ./internal/cluster ./internal/core ./internal/forecast ./internal/history ./internal/ingest ./internal/obs ./internal/store ./internal/stream"
+go test -race -count=1 ./internal/chaos ./internal/cluster ./internal/core ./internal/forecast ./internal/history ./internal/ingest ./internal/obs ./internal/store ./internal/stream
 echo ">> race check clean"

@@ -20,8 +20,8 @@ go test ./...
 echo ">> go test -race (concurrent packages)"
 go test -race -count=1 \
 	./internal/chaos ./internal/cluster ./internal/core \
-	./internal/feedclient ./internal/history ./internal/ingest \
-	./internal/obs ./internal/store ./internal/stream \
+	./internal/feedclient ./internal/forecast ./internal/history \
+	./internal/ingest ./internal/obs ./internal/store ./internal/stream \
 	./cmd/queued ./cmd/queueload
 
 echo ">> all checks clean"
