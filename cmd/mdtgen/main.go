@@ -16,11 +16,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
+	"sort"
 	"time"
 
 	"taxiqueue/internal/citymap"
 	"taxiqueue/internal/feedclient"
+	"taxiqueue/internal/geo"
 	"taxiqueue/internal/mdt"
 	"taxiqueue/internal/sim"
 	"taxiqueue/internal/store"
@@ -49,6 +52,56 @@ func streamFeed(url string, recs []mdt.Record, rate float64, batchSize int, enco
 	return cl, nil
 }
 
+// popupSite picks a deterministic location inside the island frame at
+// least 200 m from every landmark — somewhere no batch pass grows a queue
+// spot, so pickups there exercise the live-discovery path.
+func popupSite(city *citymap.Map) geo.Point {
+	base := citymap.IslandClamp(geo.Point{Lat: citymap.Island.MinLat, Lon: citymap.Island.MinLon})
+	if len(city.Landmarks) > 0 {
+		base = city.Landmarks[0].Pos
+	}
+	for east := 250.0; east < 20000; east += 97 {
+		for north := -800.0; north <= 800; north += 83 {
+			p := geo.Offset(base, east, north)
+			if !citymap.Island.Contains(p) {
+				continue
+			}
+			clear := true
+			for _, lm := range city.Landmarks {
+				if geo.Equirect(lm.Pos, p) < 200 {
+					clear = false
+					break
+				}
+			}
+			if clear {
+				return p
+			}
+		}
+	}
+	return base
+}
+
+// popupRecords fabricates n fresh taxis each making one street pickup
+// scattered a few meters around site, one per minute starting at t0:
+// slow-rolling FREE, a crawl, then occupied and gone — the §4 pickup
+// signature, from IDs the organic fleet never uses.
+func popupRecords(site geo.Point, n int, t0 time.Time) []mdt.Record {
+	rng := rand.New(rand.NewSource(5))
+	recs := make([]mdt.Record, 0, 4*n)
+	for i := 0; i < n; i++ {
+		base := t0.Add(time.Duration(i) * time.Minute)
+		id := fmt.Sprintf("POPUP%03d", i)
+		pos := geo.Offset(site, rng.NormFloat64()*4, rng.NormFloat64()*4)
+		recs = append(recs,
+			mdt.Record{Time: base, TaxiID: id, Pos: pos, Speed: 30, State: mdt.Free},
+			mdt.Record{Time: base.Add(20 * time.Second), TaxiID: id, Pos: pos, Speed: 3, State: mdt.Free},
+			mdt.Record{Time: base.Add(40 * time.Second), TaxiID: id, Pos: pos, Speed: 2, State: mdt.POB},
+			mdt.Record{Time: base.Add(60 * time.Second), TaxiID: id, Pos: pos, Speed: 35, State: mdt.POB},
+		)
+	}
+	return recs
+}
+
 func main() {
 	out := flag.String("o", "-", "output file ('-' for stdout)")
 	format := flag.String("format", "text", "output format: text or store")
@@ -56,6 +109,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "city scale (1.0 = ~190 landmarks)")
 	taxis := flag.Int("taxis", 0, "fleet size (0 = sized to the city)")
 	surge := flag.Int("surge", 1, "fleet multiplier: replay a demand-shock day (10 = the 10x airport-surge scenario)")
+	popup := flag.Int("popup", 0, "inject N fabricated pickups at a pop-up site (away from every landmark) starting mid-duration — exercises live spot discovery")
 	duration := flag.Duration("duration", 24*time.Hour, "simulated duration")
 	date := flag.String("date", "2026-01-05", "start date (YYYY-MM-DD, midnight)")
 	faults := flag.Bool("faults", true, "inject the §6.1.1 error modes")
@@ -122,6 +176,19 @@ func main() {
 		City:         city,
 		InjectFaults: *faults,
 	})
+
+	if *popup > 0 {
+		site := popupSite(city)
+		t0 := start.UTC().Add(*duration / 2)
+		res.Records = append(res.Records, popupRecords(site, *popup, t0)...)
+		// Restore global timestamp order; a stable sort keeps every taxi's
+		// own records in sequence.
+		sort.SliceStable(res.Records, func(i, j int) bool {
+			return res.Records[i].Time.Before(res.Records[j].Time)
+		})
+		fmt.Fprintf(os.Stderr, "mdtgen: popup: %d pickups at (%.5f, %.5f) from %s\n",
+			*popup, site.Lat, site.Lon, t0.Format(time.RFC3339))
+	}
 
 	if *streamURL != "" {
 		cl, err := streamFeed(*streamURL, res.Records, *rate, *batch, *encoding)

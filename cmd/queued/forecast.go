@@ -60,6 +60,13 @@ type forecastJSON struct {
 // wall clock behind the simulated grid still answers.
 func (f *forecastServer) handleForecast(w http.ResponseWriter, r *http.Request) {
 	t := f.fc.Table()
+	if t.Spots() == 0 {
+		// A batch run that detected no spots leaves nothing to forecast;
+		// the old path answered "need spot=0..-1", a hint no request could
+		// ever satisfy.
+		http.Error(w, "no spots detected", http.StatusServiceUnavailable)
+		return
+	}
 	q := r.URL.Query()
 	spot, err := strconv.Atoi(q.Get("spot"))
 	if err != nil || spot < 0 || spot >= t.Spots() {

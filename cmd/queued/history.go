@@ -62,8 +62,15 @@ type historyPointJSON struct {
 	NDep    float64   `json:"n_dep"`
 }
 
-// spotParam parses a required non-negative spot index.
+// spotParam parses a required non-negative spot index. A store built from
+// a batch run that detected no spots at all answers 503 for every index —
+// there is nothing to query yet, and the old "need spot=0..-1" hint was
+// nonsense.
 func (h *historyServer) spotParam(w http.ResponseWriter, r *http.Request) (int, bool) {
+	if h.hist.Spots() == 0 {
+		http.Error(w, "no spots detected", http.StatusServiceUnavailable)
+		return 0, false
+	}
 	spot, err := strconv.Atoi(r.URL.Query().Get("spot"))
 	if err != nil || spot < 0 || spot >= h.hist.Spots() {
 		http.Error(w, fmt.Sprintf("need spot=0..%d", h.hist.Spots()-1), http.StatusBadRequest)
@@ -104,6 +111,12 @@ func (h *historyServer) handleHistory(w http.ResponseWriter, r *http.Request) {
 	} else {
 		to = from // nothing recorded: empty series
 	}
+	if to.Before(from) {
+		// An inverted range is a client mistake; answering it with an
+		// empty 200 hid typos (swapped from/to, wrong day) from callers.
+		http.Error(w, "'from' after 'to'", http.StatusBadRequest)
+		return
+	}
 
 	pts := h.hist.Series(spot, from, to)
 	out := struct {
@@ -142,8 +155,11 @@ func (h *historyServer) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 	}
 	hm, ok := h.hist.Heatmap(at)
 	if !ok {
-		http.Error(w, "slot not final (or before the grid)", http.StatusNotFound)
-		return
+		// A t outside the recorded grid (or at a slot no final data has
+		// reached) is a legitimate question with a boring answer: serve an
+		// empty-but-valid heatmap — same schema, zero tiles — instead of an
+		// error a dashboard would have to special-case.
+		hm = h.hist.EmptyHeatmap(at)
 	}
 	writeHistoryJSON(w, hm)
 }

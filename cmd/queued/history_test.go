@@ -137,9 +137,20 @@ func TestHeatmapEndpoint(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/heatmap?t=later", &ignore); code != 400 {
 		t.Errorf("bad t: status %d, want 400", code)
 	}
+	// An out-of-grid t answers an empty-but-valid heatmap, not an error:
+	// same schema, zero tiles, Tiles an array rather than null.
 	before := grid.Start.Add(-time.Hour).UTC().Format(time.RFC3339)
-	if code := getJSON(t, ts.URL+"/heatmap?t="+before, &ignore); code != 404 {
-		t.Errorf("pre-grid t: status %d, want 404", code)
+	var raw struct {
+		Day   int               `json:"day"`
+		Slot  int               `json:"slot"`
+		TileM float64           `json:"tile_m"`
+		Tiles []json.RawMessage `json:"tiles"`
+	}
+	if code := getJSON(t, ts.URL+"/heatmap?t="+before, &raw); code != 200 {
+		t.Fatalf("pre-grid t: status %d, want 200", code)
+	}
+	if raw.Day != -1 || raw.Slot != -1 || len(raw.Tiles) != 0 || raw.Tiles == nil || raw.TileM == 0 {
+		t.Errorf("pre-grid heatmap not empty-but-valid: %+v", raw)
 	}
 }
 

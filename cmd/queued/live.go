@@ -25,6 +25,7 @@ type liveServer struct {
 	svc *ingest.Service
 
 	spotsCache   *renderCache
+	liveCache    *renderCache // /spots?live=1: batch payload + discovered spots
 	contextCache *renderCache
 	estCache     *renderCache
 }
@@ -42,6 +43,7 @@ func newLiveServer(srv *server, svc *ingest.Service, reg *obs.Registry) *liveSer
 		srv:          srv,
 		svc:          svc,
 		spotsCache:   newRenderCache(reg, "live_spots"),
+		liveCache:    newRenderCache(reg, "live_spots_discovered"),
 		contextCache: newRenderCache(reg, "live_context"),
 		estCache:     newRenderCache(reg, "estimate"),
 	}
@@ -66,19 +68,48 @@ func liveStreamConfig(res *core.Result) stream.Config {
 // handleSpots is the live-mode /spots: labels come from the published
 // ingest snapshot; a slot still open (or never fed) serves as
 // Unidentified. Bodies are cached per (view, snapshot, slot).
+//
+// With ?live=1 the body additionally carries the online-discovered queue
+// spots (Snapshot.Live) after the batch list, each flagged "live": true
+// with its lifecycle "state" — the view that sees a pop-up queue hours
+// before the next batch pass. Without the flag the body is byte-identical
+// to the plain live-mode /spots, discovered spots or not.
 func (l *liveServer) handleSpots(w http.ResponseWriter, r *http.Request) {
 	v, bucket, ok := l.srv.loadView(w, r)
 	if !ok {
 		return
 	}
 	snap := l.svc.Snapshot()
-	body := l.spotsCache.get(liveKey{v, snap}, bucket, v.buckets(), func() []byte {
-		return v.renderSpots(bucket, func(spot, slot int) core.QueueType {
-			if label, ok := snap.Label(spot, slot); ok {
-				return label
+	label := func(spot, slot int) core.QueueType {
+		if lb, ok := snap.Label(spot, slot); ok {
+			return lb
+		}
+		return core.Unidentified
+	}
+	if r.URL.Query().Get("live") == "1" {
+		body := l.liveCache.get(liveKey{v, snap}, bucket, v.buckets(), func() []byte {
+			out := v.spotsPayload(bucket, label)
+			for _, ls := range snap.Live() {
+				sj := spotJSON{
+					Lat: ls.Spot.Pos.Lat, Lon: ls.Spot.Pos.Lon,
+					Zone: ls.Spot.Zone.String(), Pickups: ls.Spot.PickupCount,
+					// No batch thresholds exist for a spot discovered
+					// minutes ago, so no context is claimed for it yet.
+					Context: core.Unidentified.String(),
+					State:   ls.State.String(), Live: true,
+				}
+				if lm, d, ok := v.city.NearestLandmark(ls.Spot.Pos); ok && d < 50 {
+					sj.Landmark = lm.Name
+				}
+				out = append(out, sj)
 			}
-			return core.Unidentified
+			return encodeJSON(out)
 		})
+		writeJSON(w, body)
+		return
+	}
+	body := l.spotsCache.get(liveKey{v, snap}, bucket, v.buckets(), func() []byte {
+		return v.renderSpots(bucket, label)
 	})
 	writeJSON(w, body)
 }

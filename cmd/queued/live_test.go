@@ -22,6 +22,12 @@ import (
 // the full live HTTP surface (mux + ingest service) around it, exactly the
 // way `queued -live` does.
 func liveFixture(t *testing.T) (*httptest.Server, *server, *ingest.Service, sim.Output, []func()) {
+	return liveFixtureCfg(t, nil)
+}
+
+// liveFixtureCfg is liveFixture with a hook to adjust the ingest service
+// configuration (e.g. enable live spot discovery) before it starts.
+func liveFixtureCfg(t *testing.T, mod func(*ingest.Config)) (*httptest.Server, *server, *ingest.Service, sim.Output, []func()) {
 	t.Helper()
 	out := sim.Run(sim.Config{Seed: 777, City: citymap.Generate(777, 0.1), InjectFaults: true})
 	cfg := core.DefaultEngineConfig()
@@ -36,11 +42,15 @@ func liveFixture(t *testing.T) (*httptest.Server, *server, *ingest.Service, sim.
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc, err := ingest.NewService(ingest.Config{
+	icfg := ingest.Config{
 		Stream: liveStreamConfig(res),
 		Clean:  clean.Config{ValidFrame: citymap.Island},
 		Shards: 4,
-	})
+	}
+	if mod != nil {
+		mod(&icfg)
+	}
+	svc, err := ingest.NewService(icfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,8 @@
 //	GET /                       web frontend (canvas map of spots + contexts)
 //	GET /spots                  all detected queue spots with current context
 //	GET /spots?at=RFC3339       contexts at a specific time
+//	GET /spots?live=1           live mode with -live-spots: also the spots
+//	                            discovered online (lifecycle "state" field)
 //	GET /context[?at=..]        per-spot context + §5.2 features for one slot
 //	GET /recommend?for=driver&lat=..&lon=..[&at=..]  ranked queue spots (§9),
 //	                            ETA-aware: scored by expected state at arrival
@@ -69,14 +71,19 @@ import (
 	"taxiqueue/internal/recommend"
 )
 
-// spotJSON is the wire format for one detected spot.
+// spotJSON is the wire format for one detected spot. The last two fields
+// only appear on live-discovered spots (/spots?live=1): batch spots omit
+// them, so the plain /spots body is byte-identical with or without live
+// discovery running.
 type spotJSON struct {
 	Lat      float64 `json:"lat"`
 	Lon      float64 `json:"lon"`
 	Zone     string  `json:"zone"`
-	Pickups  int     `json:"pickups"`
+	Pickups  int     `json:"pickups"` // live spots: current window support
 	Context  string  `json:"context"`
 	Landmark string  `json:"landmark,omitempty"`
+	State    string  `json:"state,omitempty"` // lifecycle: emerging|confirmed|decaying
+	Live     bool    `json:"live,omitempty"`  // true for online-discovered spots
 }
 
 // handleSpots serves the batch-mode /spots from the per-epoch cache: the
@@ -225,6 +232,9 @@ func main() {
 	shards := flag.Int("shards", 4, "live mode: ingest shard count")
 	queueDepth := flag.Int("queue", 1024, "live mode: per-shard queue depth")
 	bp := flag.String("bp", "block", "live mode: backpressure policy, block|drop-oldest")
+	liveSpots := flag.Bool("live-spots", false, "live mode: discover new queue spots online from pickups outside the batch list (serves /spots?live=1)")
+	liveSpotWindow := flag.Duration("live-spot-window", 3*time.Hour, "live spot discovery: sliding pickup window")
+	liveSpotMinPts := flag.Int("live-spot-minpts", 0, "live spot discovery: DBSCAN min-points over the window (0 = paper default 50)")
 	walDir := flag.String("wal", "", "live mode: WAL directory (empty = durability off)")
 	checkpoint := flag.Int("checkpoint", 4096, "live mode: records between WAL checkpoints (segment seals)")
 	syncEvery := flag.Int("sync-every", 0, "live mode: WAL group-commit batch in records, the crash-loss window (0 = default)")
@@ -296,6 +306,16 @@ func main() {
 			SyncEvery:       *syncEvery,
 			SegmentBytes:    *segmentBytes,
 			Metrics:         obs.Default, // one process-wide /metrics scrape
+		}
+		if *liveSpots {
+			det := core.DefaultLiveDetectorConfig()
+			det.Window = *liveSpotWindow
+			if *liveSpotMinPts > 0 {
+				det.Cluster.MinPoints = *liveSpotMinPts
+			}
+			cfg.LiveSpots = ingest.LiveSpotsConfig{Enabled: true, Detector: det}
+			log.Printf("queued: live spot discovery on (window %s, minpts %d)",
+				det.Window, det.Cluster.MinPoints)
 		}
 		// Every watermark advance records the newly-final contexts into
 		// the history store (when enabled) AND folds them into the

@@ -72,9 +72,10 @@ func (v *batchView) slotBucket(at time.Time) int {
 // buckets is the cache width for slot-keyed endpoints.
 func (v *batchView) buckets() int { return v.grid.Slots + 1 }
 
-// renderSpots encodes the /spots body for one slot bucket, with labels
-// supplied by the mode (batch result or live snapshot).
-func (v *batchView) renderSpots(bucket int, label func(spot, slot int) core.QueueType) []byte {
+// spotsPayload builds the /spots entries for one slot bucket, with labels
+// supplied by the mode (batch result or live snapshot). The live mode
+// appends its discovered spots to this slice before encoding.
+func (v *batchView) spotsPayload(bucket int, label func(spot, slot int) core.QueueType) []spotJSON {
 	out := make([]spotJSON, len(v.spotMeta))
 	copy(out, v.spotMeta)
 	for i := range out {
@@ -84,7 +85,12 @@ func (v *batchView) renderSpots(bucket int, label func(spot, slot int) core.Queu
 			out[i].Context = label(i, bucket).String()
 		}
 	}
-	return encodeJSON(out)
+	return out
+}
+
+// renderSpots encodes the /spots body for one slot bucket.
+func (v *batchView) renderSpots(bucket int, label func(spot, slot int) core.QueueType) []byte {
+	return encodeJSON(v.spotsPayload(bucket, label))
 }
 
 // contextJSON is the wire format of one (spot, slot) cell on /context: the

@@ -82,13 +82,18 @@ type mixEntry struct {
 	weight int
 }
 
-// parseMix reads "spots=4,context=2,..." into weighted entries.
+// parseMix reads "spots=4,context=2,..." into weighted entries. A
+// negative weight and an all-zero mix each get their own error — both
+// used to collapse into messages that named the wrong mistake ("bad
+// weight" for a perfectly parsed -3, "empty mix" for a mix with
+// entries), which is exactly what a typo'd flag needs spelled out.
 func parseMix(s string) ([]mixEntry, error) {
 	known := map[string]bool{
 		"spots": true, "context": true, "recommend": true, "estimate": true,
 		"history": true, "heatmap": true, "transitions": true, "forecast": true,
 	}
 	var mix []mixEntry
+	entries := 0
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -98,18 +103,27 @@ func parseMix(s string) ([]mixEntry, error) {
 		w := 1
 		if found {
 			var err error
-			if w, err = strconv.Atoi(ws); err != nil || w < 0 {
+			if w, err = strconv.Atoi(ws); err != nil {
 				return nil, fmt.Errorf("bad weight in %q", part)
+			}
+			if w < 0 {
+				return nil, fmt.Errorf("negative weight in %q", part)
 			}
 		}
 		if !known[name] {
 			return nil, fmt.Errorf("unknown endpoint %q (want spots|context|recommend|estimate|history|heatmap|transitions|forecast)", name)
 		}
+		entries++
 		if w > 0 {
 			mix = append(mix, mixEntry{name, w})
 		}
 	}
 	if len(mix) == 0 {
+		if entries > 0 {
+			// Every entry parsed but every weight was zero: pick() would
+			// divide the workload over nothing.
+			return nil, fmt.Errorf("mix %q has zero total weight", s)
+		}
 		return nil, fmt.Errorf("empty mix %q", s)
 	}
 	return mix, nil

@@ -4,42 +4,54 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 )
 
 func TestParseMix(t *testing.T) {
-	mix, err := parseMix("spots=4,context=2,recommend=1,estimate=1")
-	if err != nil {
-		t.Fatal(err)
+	cases := []struct {
+		name    string
+		mix     string
+		entries int    // expected len(mix) when wantErr is empty
+		wantErr string // substring the error must contain; "" = success
+	}{
+		{"full default", "spots=4,context=2,recommend=1,estimate=1", 4, ""},
+		{"bare names default to weight 1", "spots,estimate", 2, ""},
+		{"range-scan vocabulary", "history=4,heatmap=2,transitions=1", 3, ""},
+		{"forecast vocabulary", "forecast=3,recommend=1", 2, ""},
+		{"zero-weight entry dropped", "spots=4,context=0", 1, ""},
+		{"unknown endpoint", "spots=4,teapots=1", 0, "unknown endpoint"},
+		{"unparsable weight", "spots=x", 0, "bad weight"},
+		{"negative weight", "spots=-3", 0, "negative weight"},
+		{"negative among valid", "spots=4,context=-1", 0, "negative weight"},
+		{"all weights zero", "spots=0,context=0", 0, "zero total weight"},
+		{"empty string", "", 0, "empty mix"},
+		{"only commas", " , ,", 0, "empty mix"},
 	}
-	if len(mix) != 4 || mix[0].name != "spots" || mix[0].weight != 4 {
-		t.Fatalf("mix = %+v", mix)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mix, err := parseMix(tc.mix)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("parseMix(%q) err = %v, want %q", tc.mix, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseMix(%q): %v", tc.mix, err)
+			}
+			if len(mix) != tc.entries {
+				t.Fatalf("parseMix(%q) = %+v, want %d entries", tc.mix, mix, tc.entries)
+			}
+		})
 	}
-	if _, err := parseMix("spots=4,teapots=1"); err == nil {
-		t.Fatal("unknown endpoint accepted")
-	}
-	if _, err := parseMix("spots=x"); err == nil {
-		t.Fatal("bad weight accepted")
-	}
-	if _, err := parseMix("spots=0"); err == nil {
-		t.Fatal("all-zero mix accepted")
-	}
-	// Bare names default to weight 1.
-	mix, err = parseMix("spots,estimate")
-	if err != nil || len(mix) != 2 || mix[1].weight != 1 {
-		t.Fatalf("bare mix = %+v, %v", mix, err)
-	}
-	// The range-scan endpoints are part of the vocabulary.
-	mix, err = parseMix("history=4,heatmap=2,transitions=1")
-	if err != nil || len(mix) != 3 {
-		t.Fatalf("range-scan mix = %+v, %v", mix, err)
-	}
-	// And so is the forecast endpoint.
-	mix, err = parseMix("forecast=3,recommend=1")
-	if err != nil || len(mix) != 2 || mix[0].name != "forecast" || mix[0].weight != 3 {
-		t.Fatalf("forecast mix = %+v, %v", mix, err)
+
+	// Spot-check weights survive into the entries.
+	mix, err := parseMix("spots=4,context=2")
+	if err != nil || mix[0].name != "spots" || mix[0].weight != 4 || mix[1].weight != 2 {
+		t.Fatalf("mix = %+v, %v", mix, err)
 	}
 }
 

@@ -1,0 +1,373 @@
+package cluster
+
+import (
+	"math"
+	"time"
+
+	"taxiqueue/internal/geo"
+)
+
+// Incremental maintains DBSCAN clusters over a sliding time window of
+// points, updated on insert and expiry without re-clustering (ROADMAP
+// item 2: live queue-spot discovery).
+//
+// It reuses the PR 1 partition/merge formulation, which is declarative and
+// therefore order-independent:
+//
+//   - a point is core when its ε-neighbourhood (self included) holds at
+//     least MinPoints alive members;
+//   - every core-core pair within ε lies in one cluster (union-find over
+//     core edges, min-id roots);
+//   - components are numbered by ascending first-core-index, and each
+//     non-core point takes the smallest cluster number among its core
+//     neighbours, or Noise.
+//
+// Because that specification names no visit order, maintaining it
+// incrementally reproduces the batch result exactly: Result() over the
+// alive window is byte-identical to DBSCAN over the same points in the
+// same order. An insert is a neighbourhood query plus find/union calls; a
+// core merge is a union, never a re-cluster. Expiry can split clusters,
+// which union-find cannot undo edge-by-edge, so expiring a core point
+// marks the structure dirty and the next extraction rebuilds connectivity
+// with one pass over the window's core edges (inserts stay pure
+// find/union; neighbour counts and coreness are always maintained
+// eagerly).
+//
+// The spatial index is a dynamic eps-sized cell map with the same
+// geometry and the same inclusive Equirect predicate as spatial.Grid, so
+// candidate generation matches the batch index. Points must be inserted
+// in (approximately) non-decreasing time order; ExpireBefore removes the
+// longest prefix older than the cutoff, so an out-of-order straggler only
+// delays its own expiry, never anyone else's.
+//
+// Incremental is not safe for concurrent use; callers serialize access.
+type Incremental struct {
+	p Params
+
+	// Cell geometry, fixed at the first insert (the predicate below is
+	// exact, cells only pre-filter candidates, so the origin choice does
+	// not affect results — it only centers the int32 cell coordinates).
+	origin    geo.Point
+	originSet bool
+	cellDeg   float64 // cell size in degrees latitude
+	cellDegX  float64 // cell size in degrees longitude at the origin
+
+	pts  []winPoint         // insertion order; pts[head:] are alive
+	head int                // first alive index
+	cell map[uint64][]int32 // cell key → alive point indexes
+
+	uf    []int32 // parent per index; valid connectivity iff !dirty
+	dirty bool    // a core point expired or was demoted since last build
+
+	buf []int32 // neighbour scratch
+}
+
+type winPoint struct {
+	pos  geo.Point
+	t    int64 // UnixNano
+	nbr  int32 // |ε-neighbourhood| including self, over alive points
+	core bool
+}
+
+// NewIncremental returns an empty window clusterer for the given DBSCAN
+// parameters.
+func NewIncremental(p Params) (*Incremental, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Incremental{p: p, cell: make(map[uint64][]int32)}, nil
+}
+
+// Len returns the number of alive (unexpired) points in the window.
+func (inc *Incremental) Len() int { return len(inc.pts) - inc.head }
+
+// Insert adds one point observed at time t and updates neighbour counts,
+// coreness and cluster connectivity. Points with non-finite coordinates
+// are rejected (reported false) — the same family of degenerate input the
+// ingest path drops before clustering.
+func (inc *Incremental) Insert(pt geo.Point, t time.Time) bool {
+	if math.IsNaN(pt.Lat) || math.IsNaN(pt.Lon) || math.IsInf(pt.Lat, 0) || math.IsInf(pt.Lon, 0) {
+		return false
+	}
+	if !inc.originSet {
+		inc.origin = pt
+		inc.originSet = true
+		metersPerDegLat := 2 * math.Pi * geo.EarthRadiusMeters / 360
+		inc.cellDeg = inc.p.EpsMeters / metersPerDegLat
+		inc.cellDegX = inc.p.EpsMeters / (metersPerDegLat * math.Cos(inc.origin.Lat*math.Pi/180))
+	}
+
+	inc.buf = inc.within(pt, inc.buf[:0])
+	nbrs := inc.buf
+
+	id := int32(len(inc.pts))
+	p := winPoint{pos: pt, t: t.UnixNano(), nbr: int32(len(nbrs)) + 1}
+	p.core = p.nbr >= int32(inc.p.MinPoints)
+	inc.pts = append(inc.pts, p)
+	inc.uf = append(inc.uf, id)
+	key := inc.cellKey(pt)
+	inc.cell[key] = append(inc.cell[key], id)
+
+	// Bump every neighbour; a neighbour crossing the density threshold is
+	// promoted to core and owes union edges for its whole neighbourhood.
+	var promoted []int32
+	for _, q := range nbrs {
+		qp := &inc.pts[q]
+		qp.nbr++
+		if !qp.core && qp.nbr >= int32(inc.p.MinPoints) {
+			qp.core = true
+			promoted = append(promoted, q)
+		}
+	}
+
+	// When dirty, connectivity is rebuilt wholesale at the next
+	// extraction; spending unions here would be wasted work.
+	if inc.dirty {
+		return true
+	}
+	if inc.pts[id].core {
+		for _, q := range nbrs {
+			if inc.pts[q].core {
+				inc.union(id, q)
+			}
+		}
+	}
+	for _, q := range promoted {
+		qn := inc.within(inc.pts[q].pos, nil)
+		for _, j := range qn {
+			if j != q && inc.pts[j].core {
+				inc.union(q, j)
+			}
+		}
+	}
+	return true
+}
+
+// ExpireBefore removes the longest window prefix strictly older than
+// cutoff and returns how many points were dropped. Neighbour counts and
+// coreness are maintained eagerly; if any core point expired or was
+// demoted, connectivity is marked dirty and rebuilt lazily at the next
+// extraction.
+func (inc *Incremental) ExpireBefore(cutoff time.Time) int {
+	c := cutoff.UnixNano()
+	removed := 0
+	for inc.head < len(inc.pts) && inc.pts[inc.head].t < c {
+		id := int32(inc.head)
+		p := &inc.pts[inc.head]
+		inc.removeFromCell(id, p.pos)
+		if p.core {
+			inc.dirty = true
+		}
+		inc.buf = inc.within(p.pos, inc.buf[:0])
+		for _, q := range inc.buf {
+			qp := &inc.pts[q]
+			qp.nbr--
+			if qp.core && qp.nbr < int32(inc.p.MinPoints) {
+				qp.core = false
+				inc.dirty = true
+			}
+		}
+		inc.head++
+		removed++
+	}
+	inc.maybeCompact()
+	return removed
+}
+
+// compactMinDead bounds how often compaction runs: the dead prefix must
+// be at least this long and at least half the backing array.
+const compactMinDead = 4096
+
+func (inc *Incremental) maybeCompact() {
+	if inc.head < compactMinDead || inc.head*2 < len(inc.pts) {
+		return
+	}
+	alive := len(inc.pts) - inc.head
+	pts := make([]winPoint, alive)
+	copy(pts, inc.pts[inc.head:])
+	uf := make([]int32, alive)
+	if inc.dirty {
+		for i := range uf {
+			uf[i] = int32(i)
+		}
+	} else {
+		// Union edges only ever join core points, so every parent chain
+		// visits core ids only; with no core expired since the last
+		// rebuild (!dirty), all of those are alive and the forest remaps
+		// by a plain shift.
+		for i := range uf {
+			uf[i] = inc.uf[inc.head+i] - int32(inc.head)
+		}
+	}
+	cell := make(map[uint64][]int32, len(inc.cell))
+	for i := range pts {
+		key := inc.cellKey(pts[i].pos)
+		cell[key] = append(cell[key], int32(i))
+	}
+	inc.pts, inc.uf, inc.cell, inc.head = pts, uf, cell, 0
+}
+
+// Points appends the alive window points, in insertion order, and returns
+// the extended slice.
+func (inc *Incremental) Points(dst []geo.Point) []geo.Point {
+	for i := inc.head; i < len(inc.pts); i++ {
+		dst = append(dst, inc.pts[i].pos)
+	}
+	return dst
+}
+
+// OldestTime returns the timestamp of the oldest alive point; ok is false
+// when the window is empty.
+func (inc *Incremental) OldestTime() (time.Time, bool) {
+	if inc.Len() == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, inc.pts[inc.head].t), true
+}
+
+// Result extracts the current clustering of the alive window: labels are
+// indexed by alive insertion order and are identical to what batch DBSCAN
+// returns over Points() — components numbered by ascending first core
+// index, borders claimed by their lowest-numbered adjacent cluster.
+func (inc *Incremental) Result() Result {
+	inc.rebuild()
+	n := inc.Len()
+	labels := make([]int, n)
+	rootLabel := make(map[int32]int, 8)
+	next := 0
+	for i := inc.head; i < len(inc.pts); i++ {
+		if !inc.pts[i].core {
+			continue
+		}
+		// Roots are component minima, so scanning ascending ids numbers
+		// components in first-core order, as the sequential scan does.
+		r := inc.find(int32(i))
+		l, ok := rootLabel[r]
+		if !ok {
+			l = next
+			rootLabel[r] = l
+			next++
+		}
+		labels[i-inc.head] = l
+	}
+	for i := inc.head; i < len(inc.pts); i++ {
+		if inc.pts[i].core {
+			continue
+		}
+		inc.buf = inc.within(inc.pts[i].pos, inc.buf[:0])
+		best := -1
+		for _, j := range inc.buf {
+			if !inc.pts[j].core {
+				continue
+			}
+			if l := rootLabel[inc.find(j)]; best < 0 || l < best {
+				best = l
+			}
+		}
+		if best < 0 {
+			best = Noise
+		}
+		labels[i-inc.head] = best
+	}
+	return Result{Labels: labels, NumClusters: next}
+}
+
+// rebuild reconstructs union-find connectivity from the alive core points
+// after expiry invalidated it: one neighbourhood query per core point,
+// each undirected core edge unioned once from its lower endpoint.
+func (inc *Incremental) rebuild() {
+	if !inc.dirty {
+		return
+	}
+	for i := range inc.uf {
+		inc.uf[i] = int32(i)
+	}
+	for i := inc.head; i < len(inc.pts); i++ {
+		if !inc.pts[i].core {
+			continue
+		}
+		inc.buf = inc.within(inc.pts[i].pos, inc.buf[:0])
+		for _, j := range inc.buf {
+			if j > int32(i) && inc.pts[j].core {
+				inc.union(int32(i), j)
+			}
+		}
+	}
+	inc.dirty = false
+}
+
+// find is the PR 1 union-find lookup (path halving, min roots) in its
+// single-writer form — the tracker above this type already serializes
+// access, so the CAS loop would buy nothing.
+func (inc *Incremental) find(x int32) int32 {
+	for inc.uf[x] != x {
+		inc.uf[x] = inc.uf[inc.uf[x]]
+		x = inc.uf[x]
+	}
+	return x
+}
+
+// union attaches the larger root beneath the smaller, keeping each
+// component's root its minimum member — the property Result() relies on
+// for deterministic cluster numbering.
+func (inc *Incremental) union(a, b int32) {
+	ra, rb := inc.find(a), inc.find(b)
+	if ra == rb {
+		return
+	}
+	if ra > rb {
+		ra, rb = rb, ra
+	}
+	inc.uf[rb] = ra
+}
+
+// within appends the alive point ids within EpsMeters of center
+// (inclusive) — the same RectAround cell scan and Equirect predicate as
+// spatial.Grid.Within, over the dynamic cell map.
+func (inc *Incremental) within(center geo.Point, dst []int32) []int32 {
+	rect := geo.RectAround(center, inc.p.EpsMeters)
+	loX, loY := inc.cellCoords(geo.Point{Lat: rect.MinLat, Lon: rect.MinLon})
+	hiX, hiY := inc.cellCoords(geo.Point{Lat: rect.MaxLat, Lon: rect.MaxLon})
+	for cx := loX; cx <= hiX; cx++ {
+		for cy := loY; cy <= hiY; cy++ {
+			key := uint64(uint32(cx))<<32 | uint64(uint32(cy))
+			for _, id := range inc.cell[key] {
+				if geo.Equirect(center, inc.pts[id].pos) <= inc.p.EpsMeters {
+					dst = append(dst, id)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+func (inc *Incremental) cellCoords(p geo.Point) (int32, int32) {
+	cy := int32(math.Floor((p.Lat - inc.origin.Lat) / inc.cellDeg))
+	cx := int32(math.Floor((p.Lon - inc.origin.Lon) / inc.cellDegX))
+	return cx, cy
+}
+
+func (inc *Incremental) cellKey(p geo.Point) uint64 {
+	cx, cy := inc.cellCoords(p)
+	return uint64(uint32(cx))<<32 | uint64(uint32(cy))
+}
+
+// removeFromCell swap-deletes id from its cell's bucket. Bucket order is
+// irrelevant: neighbourhoods are only counted, unioned (order-free by the
+// min-root invariant) and min-reduced.
+func (inc *Incremental) removeFromCell(id int32, pos geo.Point) {
+	key := inc.cellKey(pos)
+	ids := inc.cell[key]
+	for i, v := range ids {
+		if v == id {
+			ids[i] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			break
+		}
+	}
+	if len(ids) == 0 {
+		delete(inc.cell, key)
+	} else {
+		inc.cell[key] = ids
+	}
+}

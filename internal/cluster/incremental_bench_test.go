@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"taxiqueue/internal/geo"
+)
+
+// benchPool fabricates a pickup-like point stream: a few persistent dense
+// ranks plus street-hail scatter, the mix the live window sees.
+func benchPool(n int) []geo.Point {
+	rng := rand.New(rand.NewSource(99))
+	centers := make([]geo.Point, 12)
+	base := geo.Point{Lat: 1.30, Lon: 103.80}
+	for i := range centers {
+		centers[i] = geo.Offset(base, float64(i/4)*900, float64(i%4)*900)
+	}
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		if rng.Intn(3) == 0 {
+			pts[i] = uniformNoise(rng, 1)[0]
+		} else {
+			pts[i] = blob(rng, centers[rng.Intn(len(centers))], 1, 8)[0]
+		}
+	}
+	return pts
+}
+
+// BenchmarkIncrementalInsert measures the steady-state insert+expire hot
+// path: a ~3 h window at one pickup per two seconds (~5.4k alive points),
+// every insert paying its neighbourhood query, count bumps and unions.
+func BenchmarkIncrementalInsert(b *testing.B) {
+	pool := benchPool(1 << 15)
+	inc, err := NewIncremental(Params{EpsMeters: 15, MinPoints: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	window := 3 * time.Hour
+	clock := time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC)
+	// Pre-fill to steady state so b.N measures the sliding regime, not
+	// the warm-up ramp.
+	for i := 0; i < int(window/(2*time.Second))+1; i++ {
+		clock = clock.Add(2 * time.Second)
+		inc.Insert(pool[i%len(pool)], clock)
+		inc.ExpireBefore(clock.Add(-window))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock = clock.Add(2 * time.Second)
+		inc.Insert(pool[i%len(pool)], clock)
+		inc.ExpireBefore(clock.Add(-window))
+	}
+}
+
+// BenchmarkIncrementalExtract measures one full window extraction
+// (rebuild forced every round via an expiry) — the cost each live
+// snapshot refresh pays.
+func BenchmarkIncrementalExtract(b *testing.B) {
+	pool := benchPool(1 << 13)
+	inc, err := NewIncremental(Params{EpsMeters: 15, MinPoints: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	clock := time.Date(2026, 1, 5, 0, 0, 0, 0, time.UTC)
+	for i, p := range pool {
+		inc.Insert(p, clock.Add(time.Duration(i)*time.Second))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inc.dirty = true // force the connectivity rebuild each extraction
+		if res := inc.Result(); res.NumClusters == 0 {
+			b.Fatal("fixture produced no clusters")
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"taxiqueue/internal/citymap"
+	"taxiqueue/internal/cluster"
+	"taxiqueue/internal/geo"
+)
+
+// SpotState is the lifecycle stage of a live-discovered queue spot.
+type SpotState uint8
+
+const (
+	// SpotEmerging: a window cluster appeared but has not yet reached the
+	// confirmation density — tentative, dropped the moment it dissolves.
+	SpotEmerging SpotState = iota
+	// SpotConfirmed: the cluster reached ConfirmPoints; it stays confirmed
+	// until it thins below DecayPoints (hysteresis band).
+	SpotConfirmed
+	// SpotDecaying: a confirmed spot whose window support fell below
+	// DecayPoints; it re-confirms at ConfirmPoints or is dropped after
+	// DropAfter without recovery.
+	SpotDecaying
+)
+
+var spotStateNames = [...]string{"emerging", "confirmed", "decaying"}
+
+// String returns the lowercase wire spelling used by /spots?live=1.
+func (s SpotState) String() string {
+	if int(s) < len(spotStateNames) {
+		return spotStateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// LiveSpot is one live-discovered queue spot with its lifecycle state.
+// Spot.PickupCount is the spot's current sliding-window support (0 while
+// decaying with no qualifying cluster), not a daily total.
+type LiveSpot struct {
+	Spot      QueueSpot
+	State     SpotState
+	FirstSeen time.Time // when the cluster was first tracked
+	LastSeen  time.Time // last refresh at which a qualifying cluster matched
+}
+
+// LiveDetectorConfig parameterizes online queue-spot discovery.
+type LiveDetectorConfig struct {
+	// Cluster holds the DBSCAN ε_d/p_d pair applied to the sliding window.
+	// MinPoints is the paper's per-day density scaled to the window the
+	// caller chooses; every extracted cluster holds at least MinPoints.
+	Cluster cluster.Params
+	// Window is how much pickup history stays clusterable (default 3h).
+	Window time.Duration
+	// ConfirmPoints promotes emerging → confirmed (default 2×MinPoints).
+	ConfirmPoints int
+	// DecayPoints demotes confirmed → decaying when window support falls
+	// below it (default MinPoints, i.e. the cluster dissolved). Must not
+	// exceed ConfirmPoints — the gap is the anti-flap hysteresis band.
+	DecayPoints int
+	// DropAfter removes a decaying spot that never re-confirmed
+	// (default Window/2).
+	DropAfter time.Duration
+	// MatchMeters is the centroid distance within which an extracted
+	// cluster is the same spot as a tracked one (default 2×EpsMeters).
+	MatchMeters float64
+	// ByZone mirrors DetectorConfig.ByZone: one independent window per
+	// Fig. 5 zone, which is also the unit the multi-node roadmap shards.
+	ByZone bool
+}
+
+// DefaultLiveDetectorConfig returns the paper's clustering parameters over
+// a 3-hour window with a 2× confirmation hysteresis.
+func DefaultLiveDetectorConfig() LiveDetectorConfig {
+	return LiveDetectorConfig{
+		Cluster: cluster.Params{EpsMeters: 15, MinPoints: 50},
+		Window:  3 * time.Hour,
+		ByZone:  true,
+	}
+}
+
+// withDefaults fills derived zero fields.
+func (c LiveDetectorConfig) withDefaults() LiveDetectorConfig {
+	if c.Window <= 0 {
+		c.Window = 3 * time.Hour
+	}
+	if c.ConfirmPoints <= 0 {
+		c.ConfirmPoints = 2 * c.Cluster.MinPoints
+	}
+	if c.DecayPoints <= 0 {
+		c.DecayPoints = c.Cluster.MinPoints
+	}
+	if c.DropAfter <= 0 {
+		c.DropAfter = c.Window / 2
+	}
+	if c.MatchMeters <= 0 {
+		c.MatchMeters = 2 * c.Cluster.EpsMeters
+	}
+	return c
+}
+
+// LiveStats are cumulative lifecycle transition counts (the feed behind
+// the spot_live_*_total metrics) plus the current tracked population.
+type LiveStats struct {
+	Tracked        int    // spots currently tracked (any state)
+	WindowPoints   int    // pickups currently alive across zone windows
+	EmergingTotal  uint64 // spots that started tracking
+	ConfirmedTotal uint64 // transitions into confirmed
+	DecayedTotal   uint64 // transitions into decaying
+	DroppedTotal   uint64 // spots removed (dissolved or timed out)
+}
+
+// LiveDetector discovers queue spots online: pickups stream into per-zone
+// sliding-window incremental DBSCAN (cluster.Incremental), and Refresh
+// reconciles the extracted clusters against tracked spots, advancing the
+// emerging → confirmed → decaying lifecycle with hysteresis so labels
+// don't flap. Not safe for concurrent use; the ingest tracker serializes.
+type LiveDetector struct {
+	cfg   LiveDetectorConfig
+	zones []*cluster.Incremental // NumZones entries, or one when !ByZone
+	spots []LiveSpot
+	stats LiveStats
+	now   time.Time
+}
+
+// NewLiveDetector builds an empty detector; zero config fields take the
+// documented defaults.
+func NewLiveDetector(cfg LiveDetectorConfig) (*LiveDetector, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.DecayPoints > cfg.ConfirmPoints {
+		return nil, fmt.Errorf("core: live detector decay threshold %d above confirm threshold %d (inverted hysteresis)",
+			cfg.DecayPoints, cfg.ConfirmPoints)
+	}
+	n := 1
+	if cfg.ByZone {
+		n = citymap.NumZones
+	}
+	d := &LiveDetector{cfg: cfg, zones: make([]*cluster.Incremental, n)}
+	for i := range d.zones {
+		inc, err := cluster.NewIncremental(cfg.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		d.zones[i] = inc
+	}
+	return d, nil
+}
+
+// Config returns the detector's effective (default-filled) configuration.
+func (d *LiveDetector) Config() LiveDetectorConfig { return d.cfg }
+
+// Observe feeds one pickup event: the point enters its zone's window and
+// the detector clock advances to t (monotonically). Degenerate
+// (non-finite) points are dropped, reported false.
+func (d *LiveDetector) Observe(p geo.Point, t time.Time) bool {
+	d.Advance(t)
+	z := 0
+	if d.cfg.ByZone {
+		z = int(citymap.ZoneOf(p))
+	}
+	if !d.zones[z].Insert(p, t) {
+		return false
+	}
+	d.zones[z].ExpireBefore(d.now.Add(-d.cfg.Window))
+	return true
+}
+
+// Advance moves the detector clock forward without a pickup — flush
+// barriers and slot closures call this so windows drain during lulls.
+func (d *LiveDetector) Advance(t time.Time) {
+	if t.After(d.now) {
+		d.now = t
+	}
+}
+
+// Spots extracts the current window clusters as batch-style queue spots,
+// sorted exactly like DetectSpots (count desc, then position). With a
+// window covering a whole day this equals the batch DetectSpots result
+// for that day — the incremental/batch equivalence property.
+func (d *LiveDetector) Spots() []QueueSpot {
+	var spots []QueueSpot
+	var pts []geo.Point
+	for z, inc := range d.zones {
+		pts = inc.Points(pts[:0])
+		res := inc.Result()
+		cents := res.Centroids(pts)
+		sizes := res.ClusterSizes()
+		for i := range cents {
+			zone := citymap.Zone(z)
+			if !d.cfg.ByZone {
+				zone = citymap.ZoneOf(cents[i])
+			}
+			spots = append(spots, QueueSpot{Pos: cents[i], Zone: zone, PickupCount: sizes[i]})
+		}
+	}
+	sortSpots(spots)
+	return spots
+}
+
+func sortSpots(spots []QueueSpot) {
+	sort.Slice(spots, func(i, j int) bool {
+		if spots[i].PickupCount != spots[j].PickupCount {
+			return spots[i].PickupCount > spots[j].PickupCount
+		}
+		if spots[i].Pos.Lat != spots[j].Pos.Lat {
+			return spots[i].Pos.Lat < spots[j].Pos.Lat
+		}
+		return spots[i].Pos.Lon < spots[j].Pos.Lon
+	})
+}
+
+// Refresh expires stale window points, extracts the current clusters and
+// reconciles them with the tracked spots:
+//
+//   - an unmatched cluster starts a new emerging spot;
+//   - a matched spot follows the cluster's centroid and support, and the
+//     support drives the hysteresis state machine (confirm at
+//     ConfirmPoints, decay below DecayPoints, re-confirm at
+//     ConfirmPoints);
+//   - an emerging spot whose cluster dissolved is dropped immediately, a
+//     decaying one after DropAfter.
+//
+// The returned slice is a fresh copy sorted by support (desc, ties by
+// position) — safe to publish in an immutable snapshot.
+func (d *LiveDetector) Refresh() []LiveSpot {
+	cutoff := d.now.Add(-d.cfg.Window)
+	for _, inc := range d.zones {
+		inc.ExpireBefore(cutoff)
+	}
+	spots := d.Spots()
+
+	// Biggest clusters claim tracked spots first: nearest unclaimed
+	// tracked spot of the same zone within MatchMeters.
+	matched := make([]int, len(d.spots)) // window support matched this round; -1 = unmatched
+	for i := range matched {
+		matched[i] = -1
+	}
+	var fresh []QueueSpot
+	for _, sp := range spots {
+		best, bestD := -1, d.cfg.MatchMeters+1
+		for i := range d.spots {
+			if matched[i] >= 0 || d.spots[i].Spot.Zone != sp.Zone {
+				continue
+			}
+			if dist := geo.Equirect(d.spots[i].Spot.Pos, sp.Pos); dist < bestD {
+				best, bestD = i, dist
+			}
+		}
+		if best < 0 {
+			fresh = append(fresh, sp)
+			continue
+		}
+		matched[best] = sp.PickupCount
+		d.spots[best].Spot = sp
+		d.spots[best].LastSeen = d.now
+	}
+
+	kept := d.spots[:0]
+	for i := range d.spots {
+		s := d.spots[i]
+		support := matched[i]
+		if support < 0 {
+			s.Spot.PickupCount = 0
+			support = 0
+		}
+		switch s.State {
+		case SpotEmerging:
+			if matched[i] < 0 {
+				d.stats.DroppedTotal++
+				continue // tentative and dissolved: forget it
+			}
+			if support >= d.cfg.ConfirmPoints {
+				s.State = SpotConfirmed
+				d.stats.ConfirmedTotal++
+			}
+		case SpotConfirmed:
+			if support < d.cfg.DecayPoints {
+				s.State = SpotDecaying
+				d.stats.DecayedTotal++
+			}
+		case SpotDecaying:
+			if support >= d.cfg.ConfirmPoints {
+				s.State = SpotConfirmed
+				d.stats.ConfirmedTotal++
+			} else if d.now.Sub(s.LastSeen) >= d.cfg.DropAfter {
+				d.stats.DroppedTotal++
+				continue
+			}
+		}
+		kept = append(kept, s)
+	}
+	d.spots = kept
+	for _, sp := range fresh {
+		d.stats.EmergingTotal++
+		ls := LiveSpot{Spot: sp, State: SpotEmerging, FirstSeen: d.now, LastSeen: d.now}
+		if sp.PickupCount >= d.cfg.ConfirmPoints {
+			// Born past the confirmation density — e.g. a pop-up rank that
+			// filled between refreshes. Skip straight to confirmed.
+			ls.State = SpotConfirmed
+			d.stats.ConfirmedTotal++
+		}
+		d.spots = append(d.spots, ls)
+	}
+
+	sort.Slice(d.spots, func(i, j int) bool {
+		a, b := &d.spots[i], &d.spots[j]
+		if a.Spot.PickupCount != b.Spot.PickupCount {
+			return a.Spot.PickupCount > b.Spot.PickupCount
+		}
+		if a.Spot.Pos.Lat != b.Spot.Pos.Lat {
+			return a.Spot.Pos.Lat < b.Spot.Pos.Lat
+		}
+		return a.Spot.Pos.Lon < b.Spot.Pos.Lon
+	})
+	out := make([]LiveSpot, len(d.spots))
+	copy(out, d.spots)
+	return out
+}
+
+// Stats returns cumulative lifecycle counters and the live population.
+func (d *LiveDetector) Stats() LiveStats {
+	st := d.stats
+	st.Tracked = len(d.spots)
+	for _, inc := range d.zones {
+		st.WindowPoints += inc.Len()
+	}
+	return st
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"taxiqueue/internal/cluster"
+	"taxiqueue/internal/geo"
+)
+
+// TestLiveDetectorDayReplayMatchesBatch is the tentpole property test:
+// replaying a full simulated day's pickups through the live detector (a
+// window wide enough to hold the whole day) must end with exactly the
+// batch DetectSpots result — same spots, same centroids bit-for-bit, same
+// counts, same order.
+func TestLiveDetectorDayReplayMatchesBatch(t *testing.T) {
+	day := simDay(t)
+	res, err := engineForTest(t).Analyze(day.cleaned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Spots) < 10 {
+		t.Fatalf("degenerate fixture: only %d batch spots", len(res.Spots))
+	}
+
+	d, err := NewLiveDetector(LiveDetectorConfig{
+		Cluster: cluster.Params{EpsMeters: 15, MinPoints: 30},
+		Window:  48 * time.Hour, // hold the whole day: pure insert replay
+		ByZone:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay in Result.Pickups order — the order DetectSpots clustered.
+	for _, p := range res.Pickups {
+		if !d.Observe(p.Centroid, p.Sub[len(p.Sub)-1].Time) {
+			t.Fatal("simulated pickup rejected")
+		}
+	}
+
+	live := d.Spots()
+	if len(live) != len(res.Spots) {
+		t.Fatalf("live replay found %d spots, batch %d", len(live), len(res.Spots))
+	}
+	for i, sp := range live {
+		want := res.Spots[i].Spot
+		if sp.Pos != want.Pos || sp.Zone != want.Zone || sp.PickupCount != want.PickupCount {
+			t.Fatalf("spot %d: live %+v, batch %+v", i, sp, want)
+		}
+	}
+}
+
+// feedBlob pushes n pickups scattered sigma meters around c, one second
+// apart starting at t0, and returns the time after the last one.
+func feedBlob(t *testing.T, d *LiveDetector, c geo.Point, n int, t0 time.Time, rng *rand.Rand) time.Time {
+	t.Helper()
+	clock := t0
+	for i := 0; i < n; i++ {
+		clock = clock.Add(time.Second)
+		if !d.Observe(geo.Offset(c, rng.NormFloat64()*4, rng.NormFloat64()*4), clock) {
+			t.Fatal("pickup rejected")
+		}
+	}
+	return clock
+}
+
+func TestLiveDetectorLifecycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	c := geo.Point{Lat: 1.30, Lon: 103.80}
+	d, err := NewLiveDetector(LiveDetectorConfig{
+		Cluster:   cluster.Params{EpsMeters: 15, MinPoints: 10},
+		Window:    30 * time.Minute,
+		DropAfter: 10 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2026, 1, 5, 12, 0, 0, 0, time.UTC)
+
+	// 10 pickups: dense enough to cluster, below the 20-point confirm bar.
+	clock := feedBlob(t, d, c, 10, t0, rng)
+	spots := d.Refresh()
+	if len(spots) != 1 || spots[0].State != SpotEmerging {
+		t.Fatalf("after 10 pickups: %+v, want one emerging spot", spots)
+	}
+	if got := d.Stats(); got.EmergingTotal != 1 || got.ConfirmedTotal != 0 {
+		t.Fatalf("stats %+v, want 1 emerging 0 confirmed", got)
+	}
+
+	// 15 more: past ConfirmPoints (2×10) — the spot confirms.
+	clock = feedBlob(t, d, c, 15, clock, rng)
+	spots = d.Refresh()
+	if len(spots) != 1 || spots[0].State != SpotConfirmed {
+		t.Fatalf("after 25 pickups: %+v, want one confirmed spot", spots)
+	}
+	if spots[0].Spot.PickupCount != 25 {
+		t.Fatalf("confirmed support %d, want 25", spots[0].Spot.PickupCount)
+	}
+
+	// The queue dries up: once the window slides past, the cluster
+	// dissolves and the spot decays rather than vanishing.
+	d.Advance(clock.Add(31 * time.Minute))
+	spots = d.Refresh()
+	if len(spots) != 1 || spots[0].State != SpotDecaying {
+		t.Fatalf("after the window drained: %+v, want one decaying spot", spots)
+	}
+	if spots[0].Spot.PickupCount != 0 {
+		t.Fatalf("decaying support %d, want 0", spots[0].Spot.PickupCount)
+	}
+
+	// Still dry DropAfter later: dropped.
+	d.Advance(clock.Add(42 * time.Minute))
+	if spots = d.Refresh(); len(spots) != 0 {
+		t.Fatalf("decayed spot still tracked: %+v", spots)
+	}
+	st := d.Stats()
+	if st.EmergingTotal != 1 || st.ConfirmedTotal != 1 || st.DecayedTotal != 1 || st.DroppedTotal != 1 {
+		t.Fatalf("lifecycle counters %+v, want 1/1/1/1", st)
+	}
+	if st.Tracked != 0 || st.WindowPoints != 0 {
+		t.Fatalf("population %+v, want empty", st)
+	}
+}
+
+// TestLiveDetectorHysteresis checks the anti-flap band: support wobbling
+// between DecayPoints and ConfirmPoints changes nothing in either state.
+func TestLiveDetectorHysteresis(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	c := geo.Point{Lat: 1.30, Lon: 103.80}
+	d, err := NewLiveDetector(LiveDetectorConfig{
+		Cluster:       cluster.Params{EpsMeters: 15, MinPoints: 10},
+		Window:        30 * time.Minute,
+		ConfirmPoints: 30,
+		DecayPoints:   15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2026, 1, 5, 12, 0, 0, 0, time.UTC)
+
+	// 20 points sits inside the band: the spot emerges but never confirms.
+	clock := feedBlob(t, d, c, 20, t0, rng)
+	if spots := d.Refresh(); len(spots) != 1 || spots[0].State != SpotEmerging {
+		t.Fatalf("in-band support: %+v, want still emerging", spots)
+	}
+	// 15 more confirms (35 ≥ 30)…
+	clock = feedBlob(t, d, c, 15, clock, rng)
+	if spots := d.Refresh(); len(spots) != 1 || spots[0].State != SpotConfirmed {
+		t.Fatal("support above confirm bar did not confirm")
+	}
+	// …then the window slides past the first 35 points while 20 fresh
+	// ones arrive: support lands back inside the band (20 ≥ DecayPoints,
+	// < ConfirmPoints) — still confirmed, no decay flap.
+	clock = feedBlob(t, d, c, 20, clock.Add(31*time.Minute), rng)
+	spots := d.Refresh()
+	if len(spots) != 1 || spots[0].State != SpotConfirmed {
+		t.Fatalf("in-band support after confirm: %+v, want still confirmed", spots)
+	}
+	if got := spots[0].Spot.PickupCount; got != 20 {
+		t.Fatalf("banded support %d, want 20", got)
+	}
+	if st := d.Stats(); st.DecayedTotal != 0 {
+		t.Fatalf("confirmed spot decayed inside the hysteresis band: %+v", st)
+	}
+
+	// The mirror edge: once decaying, in-band support must NOT re-confirm.
+	d.Advance(clock.Add(31 * time.Minute))
+	if spots := d.Refresh(); len(spots) != 1 || spots[0].State != SpotDecaying {
+		t.Fatalf("drained window: %+v, want decaying", spots)
+	}
+	clock = feedBlob(t, d, c, 20, clock.Add(32*time.Minute), rng)
+	if spots := d.Refresh(); len(spots) != 1 || spots[0].State != SpotDecaying {
+		t.Fatalf("in-band support while decaying: %+v, want still decaying", spots)
+	}
+}
+
+func TestLiveDetectorRejectsInvertedHysteresis(t *testing.T) {
+	_, err := NewLiveDetector(LiveDetectorConfig{
+		Cluster:       cluster.Params{EpsMeters: 15, MinPoints: 10},
+		ConfirmPoints: 10,
+		DecayPoints:   20,
+	})
+	if err == nil {
+		t.Fatal("inverted hysteresis thresholds accepted")
+	}
+}

@@ -214,6 +214,21 @@ func (s *Store) Heatmap(at time.Time) (Heatmap, bool) {
 	return hm, true
 }
 
+// EmptyHeatmap returns a schema-complete zero heatmap for an instant the
+// store cannot serve (outside the grid, or a slot no final data reached):
+// Tiles is empty but non-nil so clients always receive an array, and
+// Day/Slot carry the located indexes when the instant is inside the grid,
+// -1 when it isn't. The serve layer uses this to answer out-of-range
+// /heatmap?t queries with a valid body instead of an error.
+func (s *Store) EmptyHeatmap(at time.Time) Heatmap {
+	hm := Heatmap{Day: -1, Slot: -1, Time: at, TileMeters: s.cfg.TileMeters, Tiles: []Tile{}}
+	if day, slot, ok := s.Locate(at); ok {
+		hm.Day, hm.Slot = day, slot
+		hm.Time = s.TimeOf(day, slot)
+	}
+	return hm
+}
+
 // TransitionMatrix counts how a spot's context label at slot j of one day
 // maps to its label at the same slot the next day, over every recorded
 // consecutive-day pair — the day-over-day stability view ("this spot is a

@@ -55,6 +55,9 @@ type aggregator struct {
 	// identical for every empty slot of a spot, so one cached copy serves
 	// arbitrarily many reads.
 	empty []emptyCtx
+	// live is the latest online-discovered spot list, carried verbatim into
+	// every snapshot publish (nil when live discovery is off).
+	live []core.LiveSpot
 }
 
 // emptyCtx is one spot's lazily computed no-activity context.
@@ -107,6 +110,18 @@ func (a *aggregator) advance(minClosed int) {
 		return
 	}
 	a.publish(minClosed)
+}
+
+// publishLive swaps in a new live-discovered spot list and republishes at
+// the current finality watermark. advance() refuses to republish when the
+// watermark hasn't moved, so live-spot churn needs its own entry point —
+// the epoch still bumps, which is what invalidates serve-side render
+// caches keyed on the snapshot pointer.
+func (a *aggregator) publishLive(spots []core.LiveSpot) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.live = spots
+	a.publish(a.pub.Load().FinalBelow)
 }
 
 // context returns the merged features and label for a final (spot, slot),

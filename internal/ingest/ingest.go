@@ -145,6 +145,12 @@ type Config struct {
 	// under (0 for a single-day feed).
 	HistoryDay int
 
+	// LiveSpots, when enabled, runs online queue-spot discovery over the
+	// pickups that land outside every batch spot: a sliding-window
+	// incremental DBSCAN whose confirmed/emerging/decaying spots ride the
+	// read snapshot (Snapshot.Live) and /spots?live=1.
+	LiveSpots LiveSpotsConfig
+
 	// testStall, when set, runs at the top of every shard worker
 	// iteration; tests use it to wedge a shard and exercise backpressure.
 	// A stalled worker cannot handle control ops either, so tests must
@@ -241,6 +247,7 @@ type Service struct {
 	shards []*shard
 	agg    *aggregator
 	met    *metrics
+	live   *liveTracker // nil unless Config.LiveSpots.Enabled
 
 	// estVersion counts provisional (current-slot) publications across all
 	// shards; the serve-side estimate cache keys on it.
@@ -284,6 +291,16 @@ func NewService(cfg Config) (*Service, error) {
 			empty: make([]emptyCtx, len(cfg.Stream.Spots)),
 		},
 	}
+	if cfg.LiveSpots.Enabled {
+		// Built before the shards: WAL replay streams through the same
+		// emit hook as the live feed, so replayed pickups re-seed the
+		// discovery window too.
+		lt, err := newLiveTracker(cfg.LiveSpots, s.agg, met)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: live spots: %w", err)
+		}
+		s.live = lt
+	}
 	if cfg.WALDir != "" {
 		if err := os.MkdirAll(cfg.WALDir, 0o755); err != nil {
 			return nil, fmt.Errorf("ingest: wal dir: %w", err)
@@ -321,6 +338,14 @@ func NewService(cfg Config) (*Service, error) {
 	cfg.Metrics.GaugeFunc("ingest_snapshot_age_seconds",
 		"Seconds since the current read snapshot was published.",
 		func() float64 { return time.Since(s.Snapshot().At).Seconds() })
+	if s.live != nil {
+		cfg.Metrics.GaugeFunc("spot_live_tracked",
+			"Live-discovered spots currently tracked (any lifecycle state).",
+			func() float64 { return float64(s.live.stats().Tracked) })
+		cfg.Metrics.GaugeFunc("spot_live_window_points",
+			"Pickups alive in the live discovery window.",
+			func() float64 { return float64(s.live.stats().WindowPoints) })
+	}
 	for i, sh := range s.shards {
 		q := &sh.qLen
 		cfg.Metrics.GaugeFunc("ingest_queue_depth", "Records waiting in the shard queue.",
@@ -469,6 +494,11 @@ func (s *Service) Flush() error {
 	if err := s.control(opFlush, time.Time{}); err != nil {
 		return err
 	}
+	if s.live != nil {
+		// The feed is over: push the discovery clock to the grid's end so
+		// window points expire and decaying spots age out.
+		s.live.advance(s.grid.Start.Add(time.Duration(s.grid.Slots) * s.grid.SlotLen))
+	}
 	return s.flushHistory()
 }
 
@@ -479,6 +509,9 @@ func (s *Service) Flush() error {
 func (s *Service) FlushUntil(now time.Time) error {
 	if err := s.control(opFlushUntil, now); err != nil {
 		return err
+	}
+	if s.live != nil {
+		s.live.advance(now)
 	}
 	return s.flushHistory()
 }
@@ -604,6 +637,11 @@ func (s *Service) minClosed() int {
 // (every spot of one slot, say) should load it once and read through it so
 // all answers come from one consistent epoch.
 func (s *Service) Snapshot() *Snapshot { return s.agg.pub.Load() }
+
+// LiveSpots returns the online-discovered queue spots current at the
+// published snapshot (nil when live discovery is disabled). Lock-free; the
+// slice is immutable.
+func (s *Service) LiveSpots() []core.LiveSpot { return s.Snapshot().Live() }
 
 // Context returns the merged features and label for (spot, slot); ok is
 // false while any shard could still contribute to the slot (or the indexes

@@ -32,6 +32,13 @@ type metrics struct {
 	snapshotEpochs *obs.Counter // ingest_snapshot_epochs_total
 	snapshotFinal  *obs.Gauge   // ingest_snapshot_final_below
 
+	// Live spot discovery lifecycle transitions (cumulative; exported as
+	// deltas from core.LiveStats at each tracker refresh).
+	spotEmerging  *obs.Counter // spot_live_emerging_total
+	spotConfirmed *obs.Counter // spot_live_confirmed_total
+	spotDecayed   *obs.Counter // spot_live_decayed_total
+	spotDropped   *obs.Counter // spot_live_dropped_total
+
 	// removed{reason} breaks rejections down by cause across all shards.
 	removedGPS      *obs.Counter
 	removedDup      *obs.Counter
@@ -78,6 +85,11 @@ func newMetrics(reg *obs.Registry, shards int) *metrics {
 
 		snapshotEpochs: reg.Counter("ingest_snapshot_epochs_total", "Read-snapshot publications (RCU pointer swaps)."),
 		snapshotFinal:  reg.Gauge("ingest_snapshot_final_below", "Finality watermark of the published read snapshot."),
+
+		spotEmerging:  reg.Counter("spot_live_emerging_total", "Live-discovered spots that started tracking (emerging)."),
+		spotConfirmed: reg.Counter("spot_live_confirmed_total", "Live spot transitions into confirmed (incl. re-confirmations)."),
+		spotDecayed:   reg.Counter("spot_live_decayed_total", "Confirmed live spots whose window support decayed."),
+		spotDropped:   reg.Counter("spot_live_dropped_total", "Live spots dropped (dissolved while emerging, or decayed out)."),
 
 		removedGPS:      reg.Counter("ingest_removed_total", "Records removed before the engine, by reason.", obs.Label{Name: "reason", Value: "gps_outlier"}),
 		removedDup:      reg.Counter("ingest_removed_total", "Records removed before the engine, by reason.", obs.Label{Name: "reason", Value: "duplicate"}),

@@ -592,6 +592,9 @@ func (sh *shard) ingest(r mdt.Record) {
 func (sh *shard) emit(events []stream.Event) {
 	if len(events) > 0 {
 		sh.svc.agg.add(events)
+		if lt := sh.svc.live; lt != nil {
+			lt.observe(events)
+		}
 	}
 	wm := sh.engine.Closed()
 	sh.sm.watermark.Set(int64(wm))
@@ -599,6 +602,12 @@ func (sh *shard) emit(events []stream.Event) {
 		sh.lastWM = wm
 		sh.svc.agg.advance(sh.svc.minClosed())
 		sh.svc.appendHistory()
+		if lt := sh.svc.live; lt != nil {
+			// A slot just became untouchable here: the feed clock has
+			// reached at least its end, so let discovery expire and decay.
+			g := sh.svc.grid
+			lt.advance(g.Start.Add(time.Duration(wm) * g.SlotLen))
+		}
 	}
 }
 

@@ -42,7 +42,17 @@ type Snapshot struct {
 	// ctx holds the final cells, row-major [spot*FinalBelow + slot];
 	// only slots < FinalBelow are present.
 	ctx []CellContext
+
+	// live holds the online-discovered queue spots (with lifecycle state)
+	// as of this publish — nil when live discovery is disabled. The slice
+	// is immutable once published, like everything else here.
+	live []core.LiveSpot
 }
+
+// Live returns the online-discovered queue spots current at this snapshot,
+// sorted by window support (desc, ties by position). The returned slice is
+// shared and must not be mutated. Empty when live discovery is off.
+func (s *Snapshot) Live() []core.LiveSpot { return s.live }
 
 // Context returns the merged features and label for (spot, slot); ok is
 // false while any shard could still contribute to the slot or the indexes
@@ -79,6 +89,7 @@ func (a *aggregator) publish(finalBelow int) {
 		Spots:      len(a.ths),
 		Slots:      a.grid.Slots,
 		ctx:        make([]CellContext, len(a.ths)*finalBelow),
+		live:       a.live,
 	}
 	for spot := 0; spot < snap.Spots; spot++ {
 		row := snap.ctx[spot*finalBelow : (spot+1)*finalBelow]

@@ -32,7 +32,8 @@ type EventKind uint8
 
 const (
 	// PickupDetected fires when a taxi's low-speed run commits as a slow
-	// pickup event at a known queue spot.
+	// pickup event — at a known queue spot (Spot >= 0) or in open street
+	// (Spot = -1), where it feeds live spot discovery.
 	PickupDetected EventKind = iota
 	// SlotClosed fires when a slot becomes final at a spot with activity:
 	// the slot's features and label.
@@ -42,7 +43,7 @@ const (
 // Event is one analytics output of the online engine.
 type Event struct {
 	Kind EventKind
-	Spot int // index into the Live engine's spot list
+	Spot int // index into the Live engine's spot list; -1 on a pickup outside every spot's radius
 	// PickupDetected:
 	Pickup  core.Pickup
 	Wait    core.Wait
@@ -190,9 +191,7 @@ func (l *Live) Ingest(rec mdt.Record) []Event {
 		l.taxis[rec.TaxiID] = st
 	}
 	if pk, ok := st.step(rec, l.cfg.SpeedThresholdKmh); ok {
-		if ev, matched := l.acceptPickup(pk); matched {
-			events = append(events, ev)
-		}
+		events = append(events, l.acceptPickup(pk))
 	}
 	return events
 }
@@ -216,8 +215,11 @@ func (l *Live) closeBelow(limit int, events []Event) []Event {
 }
 
 // acceptPickup assigns a committed pickup to its nearest spot and folds its
-// wait into the spot's slot accumulators.
-func (l *Live) acceptPickup(pk core.Pickup) (Event, bool) {
+// wait into the spot's slot accumulators. A pickup outside every spot's
+// assignment radius is still reported (Spot = -1, nothing folded): the
+// live spot-discovery window feeds on exactly those street pickups the
+// batch spot list cannot account for.
+func (l *Live) acceptPickup(pk core.Pickup) Event {
 	l.buf = l.spotIdx.Within(pk.Centroid, l.cfg.AssignRadiusMeters, l.buf[:0])
 	best := -1
 	bestD := l.cfg.AssignRadiusMeters + 1
@@ -226,16 +228,15 @@ func (l *Live) acceptPickup(pk core.Pickup) (Event, bool) {
 			best, bestD = id, d
 		}
 	}
-	if best < 0 {
-		return Event{}, false
-	}
 	ev := Event{Kind: PickupDetected, Spot: best, Pickup: pk}
 	if w, ok := core.ExtractWait(pk.Sub); ok {
 		ev.Wait = w
 		ev.HasWait = true
-		l.foldWait(best, w)
+		if best >= 0 {
+			l.foldWait(best, w)
+		}
 	}
-	return ev, true
+	return ev
 }
 
 // gridEnd returns the first instant after the last slot.

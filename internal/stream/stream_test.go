@@ -159,9 +159,14 @@ func TestLivePickupEventsMatchBatchAssignment(t *testing.T) {
 		batchCounts[i] = len(batchAssigned[i])
 	}
 	liveCounts := make([]int, len(spots))
+	unmatched := 0
 	for _, rec := range d.records {
 		for _, ev := range live.Ingest(rec) {
 			if ev.Kind == PickupDetected {
+				if ev.Spot < 0 {
+					unmatched++
+					continue
+				}
 				liveCounts[ev.Spot]++
 			}
 		}
@@ -170,6 +175,15 @@ func TestLivePickupEventsMatchBatchAssignment(t *testing.T) {
 		if liveCounts[i] != batchCounts[i] {
 			t.Fatalf("spot %d: live %d pickups, batch %d", i, liveCounts[i], batchCounts[i])
 		}
+	}
+	// Pickups the batch assignment drops as scatter noise must still
+	// surface as Spot=-1 events — they are live spot discovery's feed.
+	wantUnmatched := len(d.result.Pickups)
+	for _, c := range batchCounts {
+		wantUnmatched -= c
+	}
+	if unmatched != wantUnmatched {
+		t.Fatalf("live reported %d unmatched pickups, batch dropped %d", unmatched, wantUnmatched)
 	}
 }
 

@@ -8,6 +8,7 @@
 # Usage:
 #   scripts/scenario.sh surge            # the 10x airport-surge day
 #   SURGE=20 scripts/scenario.sh surge   # a harsher multiplier
+#   scripts/scenario.sh popup            # mid-day pop-up queue discovery
 #
 # Scenarios:
 #   surge  Replay the same seeded day twice — 1x fleet, then SURGE x the
@@ -17,6 +18,14 @@
 #          its 1x baseline. Fails if any feed batch errors, if the server
 #          drops out of /healthz, or if the WAL has pending (unsynced)
 #          records after the flush barrier.
+#   popup  Boot a live instance with online spot discovery on, then feed a
+#          seeded morning with a fabricated mid-feed pop-up queue at a
+#          site no batch pass knows (mdtgen -popup), WITHOUT the final
+#          flush (a full flush drains the discovery window by design).
+#          Fails unless /spots?live=1 surfaces a confirmed live spot the
+#          plain /spots view lacks, with the lifecycle counters agreeing —
+#          i.e. the pop-up is visible online before any nightly batch
+#          pass would see it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -96,10 +105,55 @@ run_surge() {
 	echo ">> surge scenario clean (${surge}x survived, WAL drained)"
 }
 
+run_popup() {
+	echo ">> building queued + mdtgen"
+	go build -o "$bin/queued" ./cmd/queued
+	go build -o "$bin/mdtgen" ./cmd/mdtgen
+
+	echo ">> booting live queued with online spot discovery on $addr"
+	"$bin/queued" -addr "$addr" -seed "$seed" -scale "$scale" -minpts 25 \
+		-live -shards 4 -live-spots -live-spot-minpts 10 &
+	queued_pid=$!
+	wait_healthy
+
+	# 4h feed with 30 fabricated pickups at a pop-up site starting at
+	# +2h. No final flush: flushing runs the discovery clock to the grid
+	# end, which (correctly) expires the whole sliding window — the point
+	# of this scenario is the state *mid-feed*, before any batch pass.
+	echo ">> feeding a seeded 4h morning with a pop-up queue at +2h (no flush)"
+	"$bin/mdtgen" -seed "$seed" -scale "$scale" -duration 4h -popup 30 \
+		-stream "http://$addr/ingest" -flush=false
+
+	echo ">> post-feed invariants"
+	plain="$(curl -fsS "http://$addr/spots")"
+	if printf '%s' "$plain" | grep -q '"live"'; then
+		echo "scenario: plain /spots leaked live-discovery fields" >&2
+		return 1
+	fi
+	live="$(curl -fsS "http://$addr/spots?live=1")"
+	if ! printf '%s' "$live" | grep -q '"live":true'; then
+		echo "scenario: /spots?live=1 has no live-discovered spot" >&2
+		return 1
+	fi
+	if ! printf '%s' "$live" | grep -q '"state":"confirmed"'; then
+		echo "scenario: the pop-up never reached the confirmed state" >&2
+		return 1
+	fi
+	confirmed="$(metric spot_live_confirmed_total)"
+	tracked="$(metric spot_live_tracked)"
+	if [ "$confirmed" -lt 1 ]; then
+		echo "scenario: spot_live_confirmed_total=$confirmed, want >= 1" >&2
+		return 1
+	fi
+	echo "   live spots: tracked=$tracked confirmed_total=$confirmed"
+	echo ">> popup scenario clean (pop-up confirmed online, invisible to the batch view)"
+}
+
 case "$scenario" in
 surge) run_surge ;;
+popup) run_popup ;;
 *)
-	echo "scenario.sh: unknown scenario '$scenario' (have: surge)" >&2
+	echo "scenario.sh: unknown scenario '$scenario' (have: surge, popup)" >&2
 	exit 1
 	;;
 esac
