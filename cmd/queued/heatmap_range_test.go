@@ -1,0 +1,97 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"taxiqueue/internal/core"
+	"taxiqueue/internal/history"
+)
+
+// rangeURL builds a /heatmap range query against the fixture server.
+func rangeURL(base string, from, to time.Time) string {
+	return base + "/heatmap?from=" + from.Format(time.RFC3339) + "&to=" + to.Format(time.RFC3339)
+}
+
+// TestHeatmapRangeEndpoint checks the range form of /heatmap serves
+// exactly what the store's RangeSummary computes, with the label axis
+// named the way /transitions names its matrix.
+func TestHeatmapRangeEndpoint(t *testing.T) {
+	ts, hist, res := historyFixture(t, true)
+	grid := hist.Grid()
+	from := grid.Start
+	to := grid.Start.Add(24 * time.Hour)
+
+	var out struct {
+		history.RangeSummary
+		LabelNames []string `json:"label_names"`
+	}
+	if code := getJSON(t, rangeURL(ts.URL, from, to), &out); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	want, ok := hist.RangeSummary(from, to)
+	if !ok {
+		t.Fatal("store rejected the fixture's own day range")
+	}
+	if out.Stored == 0 || out.Stored != want.Stored || out.Cells != want.Cells ||
+		out.Slots != want.Slots || out.Days != want.Days || out.Empty != want.Empty ||
+		out.Labels != want.Labels {
+		t.Fatalf("range body %+v, store says %+v", out.RangeSummary, want)
+	}
+	// JSON float64 round-trips exactly, so the sums must match bit for bit.
+	if out.WaitSum != want.WaitSum || out.ArrSum != want.ArrSum ||
+		out.QLenSum != want.QLenSum || out.DepSum != want.DepSum {
+		t.Fatalf("range sums %+v, store says %+v", out.RangeSummary, want)
+	}
+	if out.Cells != grid.Slots*len(res.Spots) {
+		t.Fatalf("full-day range covers %d cells, want %d", out.Cells, grid.Slots*len(res.Spots))
+	}
+	if len(out.LabelNames) != len(out.Labels) || out.LabelNames[0] != core.QueueType(0).String() {
+		t.Fatalf("label names %v", out.LabelNames)
+	}
+
+	// from-only: to defaults to the end of the newest recorded slot, same
+	// answer as naming it explicitly.
+	var def struct{ history.RangeSummary }
+	if code := getJSON(t, ts.URL+"/heatmap?from="+from.Format(time.RFC3339), &def); code != 200 {
+		t.Fatalf("from-only status %d", code)
+	}
+	if def.Stored != want.Stored {
+		t.Fatalf("from-only stored %d, want %d", def.Stored, want.Stored)
+	}
+
+	// Client mistakes stay client errors.
+	var ignore any
+	if code := getJSON(t, rangeURL(ts.URL, to, from), &ignore); code != 400 {
+		t.Fatalf("inverted range: status %d, want 400", code)
+	}
+	if code := getJSON(t, ts.URL+"/heatmap?from=yesterday", &ignore); code != 400 {
+		t.Fatalf("unparseable from: status %d, want 400", code)
+	}
+	// A range entirely before the grid can cover nothing: 400, not a
+	// zero-filled 200 a dashboard would plot as an empty city.
+	if code := getJSON(t, rangeURL(ts.URL, grid.Start.Add(-48*time.Hour), grid.Start), &ignore); code != 400 {
+		t.Fatalf("pre-grid range: status %d, want 400", code)
+	}
+}
+
+// TestHeatmapRangeEmptyStore pins the empty-store behavior: a valid range
+// answers 200 with a zeroed summary (nothing recorded is a boring answer,
+// not an error), while the from-only default collapses to an empty range
+// and stays a 400.
+func TestHeatmapRangeEmptyStore(t *testing.T) {
+	ts, hist, _ := historyFixture(t, false)
+	grid := hist.Grid()
+
+	var out struct{ history.RangeSummary }
+	if code := getJSON(t, rangeURL(ts.URL, grid.Start, grid.Start.Add(24*time.Hour)), &out); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if out.Days != 0 || out.Stored != 0 || out.Cells != 0 {
+		t.Fatalf("empty store served %+v", out.RangeSummary)
+	}
+	var ignore any
+	if code := getJSON(t, ts.URL+"/heatmap?from="+grid.Start.Format(time.RFC3339), &ignore); code != 400 {
+		t.Fatalf("from-only on empty store: status %d, want 400", code)
+	}
+}

@@ -18,6 +18,8 @@ import (
 //
 //	GET /history?spot=N[&from=RFC3339][&to=RFC3339]   decoded per-slot series
 //	GET /heatmap[?t=RFC3339]                          tiled city intensity at one slot
+//	GET /heatmap?from=RFC3339&to=RFC3339              city-wide range aggregate, served
+//	                                                  from block summaries (no decode)
 //	GET /transitions?spot=N                           day-over-day label transition matrix
 //
 // Every request costs one atomic index load plus the scan itself; there
@@ -79,6 +81,43 @@ func (h *historyServer) spotParam(w http.ResponseWriter, r *http.Request) (int, 
 	return spot, true
 }
 
+// rangeParams parses the optional from/to pair shared by /history and the
+// range form of /heatmap: from defaults to the grid start, to defaults to
+// just past the newest final slot (or from, when nothing is recorded yet).
+// A parse failure or an inverted range answers the request itself and
+// returns ok=false — answering an inverted range with an empty 200 hid
+// typos (swapped from/to, wrong day) from callers.
+func (h *historyServer) rangeParams(w http.ResponseWriter, r *http.Request) (from, to time.Time, ok bool) {
+	q := r.URL.Query()
+	grid := h.hist.Grid()
+	from = grid.Start
+	if s := q.Get("from"); s != "" {
+		t, err := time.Parse(time.RFC3339, s)
+		if err != nil {
+			http.Error(w, "bad 'from'", http.StatusBadRequest)
+			return from, to, false
+		}
+		from = t
+	}
+	if s := q.Get("to"); s != "" {
+		t, err := time.Parse(time.RFC3339, s)
+		if err != nil {
+			http.Error(w, "bad 'to'", http.StatusBadRequest)
+			return from, to, false
+		}
+		to = t
+	} else if day, slot, ok := h.hist.Latest(); ok {
+		to = h.hist.TimeOf(day, slot).Add(grid.SlotLen)
+	} else {
+		to = from // nothing recorded: empty range
+	}
+	if to.Before(from) {
+		http.Error(w, "'from' after 'to'", http.StatusBadRequest)
+		return from, to, false
+	}
+	return from, to, true
+}
+
 // handleHistory decodes one spot's series. Without from/to the range
 // defaults to everything recorded (grid start through the newest final
 // slot).
@@ -87,34 +126,8 @@ func (h *historyServer) handleHistory(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	q := r.URL.Query()
-	grid := h.hist.Grid()
-	from := grid.Start
-	if s := q.Get("from"); s != "" {
-		t, err := time.Parse(time.RFC3339, s)
-		if err != nil {
-			http.Error(w, "bad 'from'", http.StatusBadRequest)
-			return
-		}
-		from = t
-	}
-	var to time.Time
-	if s := q.Get("to"); s != "" {
-		t, err := time.Parse(time.RFC3339, s)
-		if err != nil {
-			http.Error(w, "bad 'to'", http.StatusBadRequest)
-			return
-		}
-		to = t
-	} else if day, slot, ok := h.hist.Latest(); ok {
-		to = h.hist.TimeOf(day, slot).Add(grid.SlotLen)
-	} else {
-		to = from // nothing recorded: empty series
-	}
-	if to.Before(from) {
-		// An inverted range is a client mistake; answering it with an
-		// empty 200 hid typos (swapped from/to, wrong day) from callers.
-		http.Error(w, "'from' after 'to'", http.StatusBadRequest)
+	from, to, ok := h.rangeParams(w, r)
+	if !ok {
 		return
 	}
 
@@ -137,8 +150,15 @@ func (h *historyServer) handleHistory(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHeatmap serves the tiled intensity grid for the slot containing
-// t (default: the newest final slot).
+// t (default: the newest final slot). With from/to it instead serves the
+// city-wide aggregate over the range — the summary fast path: blocks the
+// range fully covers fold straight from their stored summaries, nothing
+// decodes.
 func (h *historyServer) handleHeatmap(w http.ResponseWriter, r *http.Request) {
+	if q := r.URL.Query(); q.Get("from") != "" || q.Get("to") != "" {
+		h.handleHeatmapRange(w, r)
+		return
+	}
 	at := time.Time{}
 	if s := r.URL.Query().Get("t"); s != "" {
 		t, err := time.Parse(time.RFC3339, s)
@@ -162,6 +182,31 @@ func (h *historyServer) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 		hm = h.hist.EmptyHeatmap(at)
 	}
 	writeHistoryJSON(w, hm)
+}
+
+// handleHeatmapRange serves /heatmap?from=..&to=..: the summary-served
+// aggregate over the range, with the label distribution keyed by name the
+// same way /transitions reports its matrix axes. A range entirely before
+// the grid (or empty after clamping) is a client mistake, not a boring
+// answer: 400.
+func (h *historyServer) handleHeatmapRange(w http.ResponseWriter, r *http.Request) {
+	from, to, ok := h.rangeParams(w, r)
+	if !ok {
+		return
+	}
+	sum, ok := h.hist.RangeSummary(from, to)
+	if !ok {
+		http.Error(w, "empty range", http.StatusBadRequest)
+		return
+	}
+	labels := make([]string, len(sum.Labels))
+	for i := range labels {
+		labels[i] = core.QueueType(i).String()
+	}
+	writeHistoryJSON(w, struct {
+		history.RangeSummary
+		LabelNames []string `json:"label_names"`
+	}{sum, labels})
 }
 
 // handleTransitions serves one spot's day-over-day label transition

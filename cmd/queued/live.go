@@ -65,6 +65,46 @@ func liveStreamConfig(res *core.Result) stream.Config {
 	}
 }
 
+// snapLabel adapts a published snapshot to the view's label callback: a
+// slot still open (or never fed) reads as Unidentified.
+func snapLabel(snap *ingest.Snapshot) func(spot, slot int) core.QueueType {
+	return func(spot, slot int) core.QueueType {
+		if lb, ok := snap.Label(spot, slot); ok {
+			return lb
+		}
+		return core.Unidentified
+	}
+}
+
+// renderSpotsBody encodes one (view, snapshot, slot) /spots body. The
+// handler and the pre-warmer both render through this method, so a
+// pre-warmed cache entry is byte-identical to what the first request would
+// have produced.
+func (l *liveServer) renderSpotsBody(v *batchView, snap *ingest.Snapshot, bucket int) []byte {
+	return v.renderSpots(bucket, snapLabel(snap))
+}
+
+// renderLiveSpotsBody is renderSpotsBody plus the online-discovered spots
+// (the /spots?live=1 variant).
+func (l *liveServer) renderLiveSpotsBody(v *batchView, snap *ingest.Snapshot, bucket int) []byte {
+	out := v.spotsPayload(bucket, snapLabel(snap))
+	for _, ls := range snap.Live() {
+		sj := spotJSON{
+			Lat: ls.Spot.Pos.Lat, Lon: ls.Spot.Pos.Lon,
+			Zone: ls.Spot.Zone.String(), Pickups: ls.Spot.PickupCount,
+			// No batch thresholds exist for a spot discovered
+			// minutes ago, so no context is claimed for it yet.
+			Context: core.Unidentified.String(),
+			State:   ls.State.String(), Live: true,
+		}
+		if lm, d, ok := v.city.NearestLandmark(ls.Spot.Pos); ok && d < 50 {
+			sj.Landmark = lm.Name
+		}
+		out = append(out, sj)
+	}
+	return encodeJSON(out)
+}
+
 // handleSpots is the live-mode /spots: labels come from the published
 // ingest snapshot; a slot still open (or never fed) serves as
 // Unidentified. Bodies are cached per (view, snapshot, slot).
@@ -80,36 +120,15 @@ func (l *liveServer) handleSpots(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := l.svc.Snapshot()
-	label := func(spot, slot int) core.QueueType {
-		if lb, ok := snap.Label(spot, slot); ok {
-			return lb
-		}
-		return core.Unidentified
-	}
 	if r.URL.Query().Get("live") == "1" {
 		body := l.liveCache.get(liveKey{v, snap}, bucket, v.buckets(), func() []byte {
-			out := v.spotsPayload(bucket, label)
-			for _, ls := range snap.Live() {
-				sj := spotJSON{
-					Lat: ls.Spot.Pos.Lat, Lon: ls.Spot.Pos.Lon,
-					Zone: ls.Spot.Zone.String(), Pickups: ls.Spot.PickupCount,
-					// No batch thresholds exist for a spot discovered
-					// minutes ago, so no context is claimed for it yet.
-					Context: core.Unidentified.String(),
-					State:   ls.State.String(), Live: true,
-				}
-				if lm, d, ok := v.city.NearestLandmark(ls.Spot.Pos); ok && d < 50 {
-					sj.Landmark = lm.Name
-				}
-				out = append(out, sj)
-			}
-			return encodeJSON(out)
+			return l.renderLiveSpotsBody(v, snap, bucket)
 		})
 		writeJSON(w, body)
 		return
 	}
 	body := l.spotsCache.get(liveKey{v, snap}, bucket, v.buckets(), func() []byte {
-		return v.renderSpots(bucket, label)
+		return l.renderSpotsBody(v, snap, bucket)
 	})
 	writeJSON(w, body)
 }
@@ -123,20 +142,26 @@ func (l *liveServer) handleContext(w http.ResponseWriter, r *http.Request) {
 	}
 	snap := l.svc.Snapshot()
 	body := l.contextCache.get(liveKey{v, snap}, bucket, v.buckets(), func() []byte {
-		out := make([]contextJSON, len(v.result.Spots))
-		for i := range out {
-			if bucket >= v.grid.Slots {
-				// Out-of-grid times never resolve to a cell, even when the
-				// live engine's grid extends past the batch day.
-				out[i] = cellJSON(i, core.Unidentified, core.SlotFeatures{}, false)
-				continue
-			}
-			feats, label, final := snap.Context(i, bucket)
-			out[i] = cellJSON(i, label, feats, final)
-		}
-		return encodeJSON(out)
+		return l.renderContextBody(v, snap, bucket)
 	})
 	writeJSON(w, body)
+}
+
+// renderContextBody encodes one (view, snapshot, slot) /context body —
+// shared by the handler and the pre-warmer (see renderSpotsBody).
+func (l *liveServer) renderContextBody(v *batchView, snap *ingest.Snapshot, bucket int) []byte {
+	out := make([]contextJSON, len(v.result.Spots))
+	for i := range out {
+		if bucket >= v.grid.Slots {
+			// Out-of-grid times never resolve to a cell, even when the
+			// live engine's grid extends past the batch day.
+			out[i] = cellJSON(i, core.Unidentified, core.SlotFeatures{}, false)
+			continue
+		}
+		feats, label, final := snap.Context(i, bucket)
+		out[i] = cellJSON(i, label, feats, final)
+	}
+	return encodeJSON(out)
 }
 
 // estimateJSON is the /estimate payload: best-effort contexts for the slot
@@ -156,19 +181,23 @@ type estimateJSON struct {
 // is read before the merge, so a cached body is never newer than its key.
 func (l *liveServer) handleEstimate(w http.ResponseWriter, _ *http.Request) {
 	ver := l.svc.EstimateVersion()
-	body := l.estCache.get(ver, 0, 1, func() []byte {
-		est := l.svc.Estimate()
-		out := estimateJSON{
-			Version: est.Version, AsOf: est.AsOf, Slot: est.Slot,
-			Contexts: make([]string, len(est.Labels)),
-			Live:     est.OK,
-		}
-		for i, lb := range est.Labels {
-			out.Contexts[i] = lb.String()
-		}
-		return encodeJSON(out)
-	})
+	body := l.estCache.get(ver, 0, 1, l.renderEstimateBody)
 	writeJSON(w, body)
+}
+
+// renderEstimateBody merges and encodes the current provisional estimate —
+// shared by the handler and the pre-warmer.
+func (l *liveServer) renderEstimateBody() []byte {
+	est := l.svc.Estimate()
+	out := estimateJSON{
+		Version: est.Version, AsOf: est.AsOf, Slot: est.Slot,
+		Contexts: make([]string, len(est.Labels)),
+		Live:     est.OK,
+	}
+	for i, lb := range est.Labels {
+		out.Contexts[i] = lb.String()
+	}
+	return encodeJSON(out)
 }
 
 // registerLive mounts the ingestion endpoints and swaps the read endpoints

@@ -24,13 +24,18 @@
 //
 //	GET /history?spot=N[&from=..&to=..]  decoded per-slot context series
 //	GET /heatmap[?t=RFC3339]             tiled city intensity at one recorded slot
+//	GET /heatmap?from=..&to=..           city-wide aggregate over a range, served
+//	                                     from block summaries without decoding
 //	GET /transitions?spot=N              day-over-day label transition matrix
 //
 // The read path is lock-free: the batch analysis and the live ingest
 // aggregator each publish an immutable view behind an atomic pointer, and
 // the hot endpoints serve pre-encoded bodies from a per-epoch cache (see
 // cache.go) — a request costs one pointer load and one cache lookup, and
-// invalidation is pointer identity, never a timer.
+// invalidation is pointer identity, never a timer. In live mode a
+// pre-warmer (prewarm.go) re-renders the hot bodies on every watermark
+// advance and just before each slot rollover, so the first request after
+// an epoch change is already a cache hit.
 //
 // With -live the batch run only bootstraps the spot positions and
 // thresholds; contexts are then served from records POSTed to /ingest
@@ -320,17 +325,23 @@ func main() {
 		// Every watermark advance records the newly-final contexts into
 		// the history store (when enabled) AND folds them into the
 		// forecast profiles; the live feed replays one day, recorded as
-		// day 0.
+		// day 0. The pre-warmer rides the same tee — last, so the
+		// profiles and history it renders against are already updated —
+		// and re-renders the hot cache bodies before the first reader
+		// asks (see prewarm.go).
+		pw := newPrewarmer(fc, obs.Default)
 		sinks := []ingest.HistoryAppender{fc}
 		if hist != nil {
 			sinks = append(sinks, hist)
 		}
+		sinks = append(sinks, pw)
 		cfg.History = ingest.TeeHistory(sinks...)
 		svc, err := ingest.NewService(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		liveSrv = newLiveServer(srv, svc, obs.Default)
+		pw.attach(liveSrv)
 		// Live /recommend defaults `at` to the newest final slot — what
 		// the feed says now — never the batch day's noon.
 		grid := srv.result().Config.Grid
@@ -363,6 +374,7 @@ func main() {
 			}
 			os.Exit(0)
 		}()
+		go pw.run()
 		log.Printf("queued: live ingest on /ingest (%d shards, %s)", *shards, policy)
 	}
 

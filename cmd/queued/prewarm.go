@@ -1,0 +1,207 @@
+package main
+
+import (
+	"time"
+
+	"taxiqueue/internal/core"
+	"taxiqueue/internal/forecast"
+	"taxiqueue/internal/obs"
+)
+
+// prewarmer renders the hot live-mode bodies into the render caches before
+// the first reader asks for them. Two triggers:
+//
+//   - Every watermark advance: the ingest service publishes a fresh
+//     snapshot and then calls the history sinks, so by the time the
+//     pre-warmer's AppendSlots nudge fires, rendering against the current
+//     published (view, snapshot) pair fills exactly the epoch the next
+//     request will be keyed on. Without this, the first /spots, /context
+//     and /estimate after every advance pay the encode on the request path.
+//
+//   - Just before each slot rollover (the forecast grid's slot boundary
+//     minus a small lead): the slot about to finalize is rendered ahead of
+//     time, using the learned profile table to decide the instant is
+//     on-grid and worth having hot.
+//
+// Everything renders through the exact methods the handlers use
+// (renderSpotsBody, renderContextBody, renderEstimateBody), so a
+// pre-warmed body is byte-identical to what the first request would have
+// produced — the cache cannot tell the difference, and neither can a
+// client.
+type prewarmer struct {
+	fc   *forecast.Learner
+	live *liveServer // set by attach before run starts
+
+	lead time.Duration // how far before a slot boundary to render
+	kick chan struct{} // watermark-advance nudge (non-blocking)
+	stop chan struct{}
+
+	spots, contexts, estimates *obs.Counter
+}
+
+// newPrewarmer wires the pre-warm counters into reg. The endpoint label
+// values match the render-cache names, so one /metrics scrape correlates
+// pre-warmed renders with the hit/miss series they feed.
+func newPrewarmer(fc *forecast.Learner, reg *obs.Registry) *prewarmer {
+	c := func(endpoint string) *obs.Counter {
+		return reg.Counter("queued_cache_prewarm_total",
+			"Cache bodies rendered ahead of the first reader by the pre-warmer.",
+			obs.Label{Name: "endpoint", Value: endpoint})
+	}
+	return &prewarmer{
+		fc:        fc,
+		lead:      2 * time.Second,
+		kick:      make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		spots:     c("live_spots"),
+		contexts:  c("live_context"),
+		estimates: c("estimate"),
+	}
+}
+
+// attach hands the pre-warmer the live server whose caches it fills. Must
+// happen before run starts; AppendSlots is safe earlier (it only nudges).
+func (p *prewarmer) attach(l *liveServer) { p.live = l }
+
+// AppendSlots implements ingest.HistoryAppender: the pre-warmer joins the
+// history tee not to store anything but to learn, without polling, that a
+// watermark advanced. The ingest service publishes the new snapshot before
+// it calls the sinks, so the nudged render sees fresh state.
+func (p *prewarmer) AppendSlots(day, lo, hi int, at func(spot, slot int) (core.SlotFeatures, core.QueueType)) error {
+	p.nudge()
+	return nil
+}
+
+// Flush implements ingest.HistoryAppender.
+func (p *prewarmer) Flush() error {
+	p.nudge()
+	return nil
+}
+
+// nudge wakes the run loop if it is not already pending a wake. Never
+// blocks: it is called from the ingest flush path.
+func (p *prewarmer) nudge() {
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+}
+
+// prewarmOnce renders the bodies worth having hot against the currently
+// published (view, snapshot) pair: the default-instant bucket every
+// at-less request resolves to, the newest final slot, and — when the
+// profile table places it on the grid — the slot about to roll over. It
+// returns how many bodies it actually rendered (a body already cached
+// costs one cache probe and counts nothing).
+func (p *prewarmer) prewarmOnce() int {
+	l := p.live
+	if l == nil {
+		return 0
+	}
+	v := l.srv.view.Load()
+	if v == nil {
+		return 0
+	}
+	snap := l.svc.Snapshot()
+	if snap == nil {
+		return 0
+	}
+	grid := p.fc.Grid()
+	ats := []time.Time{l.srv.recommendAt(v)}
+	if snap.FinalBelow > 0 {
+		ats = append(ats, grid.Start.Add(time.Duration(snap.FinalBelow-1)*grid.SlotLen))
+	}
+	if tbl := p.fc.Table(); tbl != nil {
+		next := grid.Start.Add(time.Duration(snap.FinalBelow) * grid.SlotLen)
+		if _, _, ok := tbl.Locate(next); ok {
+			ats = append(ats, next)
+		}
+	}
+	buckets := make(map[int]bool, len(ats))
+	for _, at := range ats {
+		buckets[v.slotBucket(at)] = true
+	}
+
+	warmed := 0
+	key := liveKey{v, snap}
+	for bucket := range buckets {
+		bucket := bucket
+		if p.warm(l.spotsCache, p.spots, key, bucket, v.buckets(), func() []byte {
+			return l.renderSpotsBody(v, snap, bucket)
+		}) {
+			warmed++
+		}
+		if p.warm(l.contextCache, p.contexts, key, bucket, v.buckets(), func() []byte {
+			return l.renderContextBody(v, snap, bucket)
+		}) {
+			warmed++
+		}
+	}
+	if p.warm(l.estCache, p.estimates, l.svc.EstimateVersion(), 0, 1, l.renderEstimateBody) {
+		warmed++
+	}
+	return warmed
+}
+
+// warm fills one cache slot through the cache's own get path and counts
+// the render only when it actually ran — an already-cached body increments
+// nothing, so the prewarm counters measure work done ahead of readers, not
+// loop iterations.
+func (p *prewarmer) warm(c *renderCache, n *obs.Counter, key any, idx, buckets int, render func() []byte) bool {
+	rendered := false
+	c.get(key, idx, buckets, func() []byte {
+		rendered = true
+		return render()
+	})
+	if rendered {
+		n.Inc()
+	}
+	return rendered
+}
+
+// untilNext returns the wall-clock wait to `lead` before the next slot
+// boundary of the forecast grid — the moment the slot about to finalize is
+// worth rendering.
+func (p *prewarmer) untilNext(now time.Time) time.Duration {
+	g := p.fc.Grid()
+	if g.SlotLen <= 0 {
+		return time.Minute
+	}
+	rem := g.SlotLen - now.Sub(g.Start)%g.SlotLen
+	if rem <= 0 || rem > g.SlotLen {
+		rem = g.SlotLen // before the grid start, or exactly on a boundary
+	}
+	if rem > p.lead {
+		rem -= p.lead
+	}
+	if rem < time.Second {
+		rem = time.Second
+	}
+	return rem
+}
+
+// run is the pre-warm loop: wake on a watermark nudge or just before the
+// next slot boundary, render, repeat. Stop by closing p.stop.
+func (p *prewarmer) run() {
+	t := time.NewTimer(p.untilNext(time.Now()))
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-p.kick:
+			if !t.Stop() {
+				select {
+				case <-t.C:
+				default:
+				}
+			}
+		case <-t.C:
+		}
+		p.prewarmOnce()
+		t.Reset(p.untilNext(time.Now()))
+	}
+}
+
+// halt stops the run loop.
+func (p *prewarmer) halt() { close(p.stop) }

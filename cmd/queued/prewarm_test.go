@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"taxiqueue/internal/obs"
+)
+
+// TestPrewarmFillsNextEpoch drives one day through the live service, runs
+// one synchronous pre-warm pass, and asserts the first reader of every
+// warmed endpoint is a pure cache hit serving bytes identical to an
+// uncached render — the property the pre-warmer exists for.
+func TestPrewarmFillsNextEpoch(t *testing.T) {
+	env := newServeEnv(t, false)
+	fcSrv := env.withForecast(t)
+	reg := env.svc.Registry()
+	pw := newPrewarmer(fcSrv.fc, reg)
+	pw.attach(env.live)
+
+	env.feedDay(t)
+	snap := env.svc.Snapshot()
+	if snap == nil || snap.FinalBelow == 0 {
+		t.Fatal("feeding a full day produced no final slots")
+	}
+
+	warmed := pw.prewarmOnce()
+	if warmed == 0 {
+		t.Fatal("prewarm pass rendered nothing on cold caches")
+	}
+	if pw.spots.Value() == 0 || pw.contexts.Value() == 0 || pw.estimates.Value() == 0 {
+		t.Fatalf("prewarm counters after one pass: spots=%d contexts=%d estimates=%d",
+			pw.spots.Value(), pw.contexts.Value(), pw.estimates.Value())
+	}
+
+	// First /spots, /context and /estimate after the pre-warm: hit, no miss.
+	for _, tc := range []struct {
+		endpoint string
+		path     string
+		handler  func(*httptest.ResponseRecorder)
+	}{
+		{"live_spots", "/spots", func(w *httptest.ResponseRecorder) {
+			env.live.handleSpots(w, httptest.NewRequest("GET", "/spots", nil))
+		}},
+		{"live_context", "/context", func(w *httptest.ResponseRecorder) {
+			env.live.handleContext(w, httptest.NewRequest("GET", "/context", nil))
+		}},
+		{"estimate", "/estimate", func(w *httptest.ResponseRecorder) {
+			env.live.handleEstimate(w, httptest.NewRequest("GET", "/estimate", nil))
+		}},
+	} {
+		hits := reg.Counter("queued_cache_hits_total", "", obs.Label{Name: "endpoint", Value: tc.endpoint})
+		misses := reg.Counter("queued_cache_misses_total", "", obs.Label{Name: "endpoint", Value: tc.endpoint})
+		h0, m0 := hits.Value(), misses.Value()
+		w := httptest.NewRecorder()
+		tc.handler(w)
+		if w.Code != 200 {
+			t.Fatalf("%s after prewarm: status %d", tc.path, w.Code)
+		}
+		if hits.Value() != h0+1 || misses.Value() != m0 {
+			t.Fatalf("first %s after prewarm was not a pure hit: hits %d→%d, misses %d→%d",
+				tc.path, h0, hits.Value(), m0, misses.Value())
+		}
+	}
+
+	// The served body must be byte-identical to a direct uncached render of
+	// the same published state.
+	v := env.srv.view.Load()
+	w := httptest.NewRecorder()
+	env.live.handleSpots(w, httptest.NewRequest("GET", "/spots", nil))
+	want := env.live.renderSpotsBody(v, env.svc.Snapshot(), v.slotBucket(env.srv.recommendAt(v)))
+	if !bytes.Equal(w.Body.Bytes(), want) {
+		t.Fatal("prewarmed /spots body differs from a direct render")
+	}
+
+	// Nothing changed: a second pass must render nothing (the counters
+	// measure work done ahead of readers, not loop iterations).
+	if again := pw.prewarmOnce(); again != 0 {
+		t.Fatalf("second prewarm over unchanged state re-rendered %d bodies", again)
+	}
+
+	// untilNext: wake `lead` before the next slot boundary, with a 1s floor
+	// inside the lead window.
+	g := fcSrv.fc.Grid()
+	if d := pw.untilNext(g.Start.Add(g.SlotLen / 2)); d != g.SlotLen/2-pw.lead {
+		t.Fatalf("untilNext mid-slot = %v, want %v", d, g.SlotLen/2-pw.lead)
+	}
+	if d := pw.untilNext(g.Start.Add(g.SlotLen - time.Second)); d != time.Second {
+		t.Fatalf("untilNext inside the lead window = %v, want 1s", d)
+	}
+	if d := pw.untilNext(g.Start); d != g.SlotLen-pw.lead {
+		t.Fatalf("untilNext on a boundary = %v, want %v", d, g.SlotLen-pw.lead)
+	}
+}
+
+// TestPrewarmRunLoopNudge exercises the background loop end to end: a
+// watermark-style AppendSlots nudge (what the ingest history tee delivers)
+// must wake the loop and fill the cold caches without any reader.
+func TestPrewarmRunLoopNudge(t *testing.T) {
+	env := newServeEnv(t, false)
+	fcSrv := env.withForecast(t)
+	pw := newPrewarmer(fcSrv.fc, env.svc.Registry())
+	pw.attach(env.live)
+	env.feedDay(t)
+
+	go pw.run()
+	defer pw.halt()
+	if err := pw.AppendSlots(0, 0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for pw.spots.Value() == 0 || pw.estimates.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("run loop never prewarmed after a nudge: spots=%d estimates=%d",
+				pw.spots.Value(), pw.estimates.Value())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

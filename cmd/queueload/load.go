@@ -91,6 +91,7 @@ func parseMix(s string) ([]mixEntry, error) {
 	known := map[string]bool{
 		"spots": true, "context": true, "recommend": true, "estimate": true,
 		"history": true, "heatmap": true, "transitions": true, "forecast": true,
+		"wide": true,
 	}
 	var mix []mixEntry
 	entries := 0
@@ -111,7 +112,7 @@ func parseMix(s string) ([]mixEntry, error) {
 			}
 		}
 		if !known[name] {
-			return nil, fmt.Errorf("unknown endpoint %q (want spots|context|recommend|estimate|history|heatmap|transitions|forecast)", name)
+			return nil, fmt.Errorf("unknown endpoint %q (want spots|context|recommend|estimate|history|heatmap|transitions|forecast|wide)", name)
 		}
 		entries++
 		if w > 0 {
@@ -246,6 +247,25 @@ func reqURL(cfg Config, name string, rng *rand.Rand, start time.Time, spots int)
 		return u
 	case "transitions":
 		return fmt.Sprintf("%s/transitions?spot=%d", cfg.URL, spot)
+	case "wide":
+		// Dashboard-shaped analytics: a multi-day /history span for one
+		// spot, or a city-wide /heatmap range aggregate — the queries the
+		// summary fast path serves from stored block summaries. Without
+		// -start the "everything recorded" forms are used (epoch from clamps
+		// to the grid start server-side).
+		if start.IsZero() {
+			if rng.Intn(2) == 0 {
+				return fmt.Sprintf("%s/history?spot=%d", cfg.URL, spot)
+			}
+			return cfg.URL + "/heatmap?from=1970-01-01T00:00:00Z"
+		}
+		from := start.Add(time.Duration(rng.Intn(48)) * 30 * time.Minute)
+		to := from.Add(time.Duration(1+rng.Intn(3)) * 24 * time.Hour)
+		span := "from=" + from.UTC().Format(time.RFC3339) + "&to=" + to.UTC().Format(time.RFC3339)
+		if rng.Intn(2) == 0 {
+			return fmt.Sprintf("%s/history?spot=%d&%s", cfg.URL, spot, span)
+		}
+		return cfg.URL + "/heatmap?" + span
 	case "forecast":
 		// A future instant: the profile table answers for any day, so sweep
 		// a few days ahead of the grid start (wall-clock "now" when no

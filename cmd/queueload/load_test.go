@@ -21,6 +21,7 @@ func TestParseMix(t *testing.T) {
 		{"bare names default to weight 1", "spots,estimate", 2, ""},
 		{"range-scan vocabulary", "history=4,heatmap=2,transitions=1", 3, ""},
 		{"forecast vocabulary", "forecast=3,recommend=1", 2, ""},
+		{"wide analytics vocabulary", "wide=2,spots=1", 2, ""},
 		{"zero-weight entry dropped", "spots=4,context=0", 1, ""},
 		{"unknown endpoint", "spots=4,teapots=1", 0, "unknown endpoint"},
 		{"unparsable weight", "spots=x", 0, "bad weight"},
@@ -162,6 +163,79 @@ func TestRunHistoryMix(t *testing.T) {
 	}
 	if badSpot.Load() != 0 {
 		t.Fatalf("%d requests drew a spot outside the probed count", badSpot.Load())
+	}
+}
+
+// TestRunWideMix drives the wide-analytics mix against a stub: every
+// request must be either a multi-day /history span or a range-form
+// /heatmap (from/to present, to after from, at least one day wide), and
+// the summary must report wide latency percentiles.
+func TestRunWideMix(t *testing.T) {
+	var history, heatmap, malformed atomic.Int64
+	checkRange := func(r *http.Request) bool {
+		q := r.URL.Query()
+		from, errF := time.Parse(time.RFC3339, q.Get("from"))
+		to, errT := time.Parse(time.RFC3339, q.Get("to"))
+		return errF == nil && errT == nil && to.Sub(from) >= 24*time.Hour
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/history", func(w http.ResponseWriter, r *http.Request) {
+		history.Add(1)
+		if s := r.URL.Query().Get("spot"); s != "0" && s != "1" {
+			malformed.Add(1)
+			http.Error(w, "bad spot", http.StatusBadRequest)
+			return
+		}
+		if !checkRange(r) {
+			malformed.Add(1)
+			http.Error(w, "not a wide span", http.StatusBadRequest)
+			return
+		}
+		w.Write([]byte("{}\n"))
+	})
+	mux.HandleFunc("/heatmap", func(w http.ResponseWriter, r *http.Request) {
+		heatmap.Add(1)
+		if !checkRange(r) {
+			malformed.Add(1)
+			http.Error(w, "not a range aggregate", http.StatusBadRequest)
+			return
+		}
+		w.Write([]byte("{}\n"))
+	})
+	mux.HandleFunc("/spots", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`[{},{}]`))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) { w.Write([]byte("ok")) })
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	cfg := defaultConfig()
+	cfg.URL = ts.URL
+	cfg.Duration = 200 * time.Millisecond
+	cfg.Clients = 2
+	cfg.Mix = "wide"
+	cfg.Start = "2026-01-05T00:00:00Z"
+	sum, err := run(cfg, rand.New(rand.NewSource(23)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if history.Load() == 0 || heatmap.Load() == 0 {
+		t.Fatalf("wide mix skewed: %d history, %d heatmap", history.Load(), heatmap.Load())
+	}
+	if malformed.Load() != 0 {
+		t.Fatalf("%d malformed wide requests", malformed.Load())
+	}
+	var wide *endpointStat
+	for i := range sum.Endpoints {
+		if sum.Endpoints[i].Name == "wide" {
+			wide = &sum.Endpoints[i]
+		}
+	}
+	if wide == nil || wide.Errors != 0 || wide.Requests == 0 {
+		t.Fatalf("wide endpoint stat missing or errored: %+v", sum.Endpoints)
+	}
+	if wide.P50ms > wide.P90ms || wide.P90ms > wide.P99ms || wide.P99ms > wide.MaxMs {
+		t.Fatalf("wide percentiles out of order: %+v", *wide)
 	}
 }
 

@@ -1,6 +1,8 @@
 // Command queueload is the load-generation harness for the queued read
 // path: it drives a mixed GET workload (spots / context / recommend /
-// estimate) against a running queued instance — closed-loop (a fixed
+// estimate / history / heatmap / transitions / forecast / wide, where
+// "wide" issues multi-day /history spans and range-form /heatmap
+// aggregates) against a running queued instance — closed-loop (a fixed
 // number of always-busy clients) or open-loop (a fixed arrival rate) —
 // and reports per-endpoint throughput and latency percentiles as JSON.
 // With -feed it simultaneously replays a simulated MDT day into /ingest,

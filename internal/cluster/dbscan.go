@@ -126,16 +126,38 @@ func DBSCANNaive(pts []geo.Point, p Params) (Result, error) {
 
 const unvisited = -2
 
+// sweepScratch is the per-worker reusable state of the DBSCAN control
+// loop: the label array and the two grow-only work queues. One scratch
+// serves an arbitrary sequence of runs over point sets of any size, so a
+// parameter sweep allocates the loop state once per worker instead of once
+// per (eps, minPts) cell.
+type sweepScratch struct {
+	labels     []int
+	neighbours []int
+	seeds      []int
+}
+
 // run is the classic DBSCAN control loop with an explicit seed queue.
 // Cluster numbers are assigned in order of the first core point scanned,
 // which makes results deterministic for a fixed input order.
 func run(pts []geo.Point, p Params, idx spatial.Index) Result {
-	labels := make([]int, len(pts))
+	return runScratch(pts, p, idx, new(sweepScratch))
+}
+
+// runScratch is run with caller-owned scratch. The returned Result aliases
+// sc.labels: callers that reuse sc (the sweep) must summarize the Result
+// before the next call; run hands each caller a fresh scratch, so the
+// public entry points keep their owned-slice contract.
+func runScratch(pts []geo.Point, p Params, idx spatial.Index, sc *sweepScratch) Result {
+	if cap(sc.labels) < len(pts) {
+		sc.labels = make([]int, len(pts))
+	}
+	labels := sc.labels[:len(pts)]
 	for i := range labels {
 		labels[i] = unvisited
 	}
 	next := 0
-	var neighbours, seedBuf []int
+	neighbours, seedBuf := sc.neighbours, sc.seeds
 	for i := range pts {
 		if labels[i] != unvisited {
 			continue
@@ -172,6 +194,7 @@ func run(pts []geo.Point, p Params, idx spatial.Index) Result {
 		}
 		seedBuf = seeds
 	}
+	sc.neighbours, sc.seeds = neighbours, seedBuf
 	return Result{Labels: labels, NumClusters: next}
 }
 
@@ -203,16 +226,24 @@ func SweepParallel(pts []geo.Point, epsMeters []float64, minPts []int, workers i
 	}
 	workers = capWorkers(workers)
 	out := make([]SweepCell, len(epsMeters)*len(minPts))
-	cell := func(row, col int, idx spatial.Index) {
+	// Each cell summarizes its run before the scratch is reused, so one
+	// label array and one pair of work queues serve a whole worker's share
+	// of the sweep — the per-cell make([]int, len(pts)) churn this loop
+	// used to pay is gone.
+	cell := func(row, col int, idx spatial.Index, sc *sweepScratch) {
 		p := Params{EpsMeters: epsMeters[row], MinPoints: minPts[col]}
-		res := run(pts, p, idx)
+		res := runScratch(pts, p, idx, sc)
 		out[row*len(minPts)+col] = SweepCell{Params: p, NumClusters: res.NumClusters, NoisePoints: res.NoiseCount()}
 	}
 	if workers == 1 || len(out) < 2 {
+		// One grid rebuilt in place per eps row, one scratch for the whole
+		// sweep.
+		var sc sweepScratch
+		idx := new(spatial.Grid)
 		for row := range epsMeters {
-			idx := spatial.NewGrid(pts, epsMeters[row])
+			idx.Reset(pts, epsMeters[row])
 			for col := range minPts {
-				cell(row, col, idx)
+				cell(row, col, idx, &sc)
 			}
 		}
 		return out, nil
@@ -222,25 +253,26 @@ func SweepParallel(pts []geo.Point, epsMeters []float64, minPts []int, workers i
 	// every cell lands at a fixed output position, so results are
 	// deterministic for any worker count.
 	grids := make([]spatial.Index, len(epsMeters))
-	fanOut := func(n int, task func(int)) {
+	scratch := make([]sweepScratch, workers)
+	fanOut := func(n int, task func(worker, i int)) {
 		var cursor atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < min(workers, n); w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
 				for {
 					i := int(cursor.Add(1)) - 1
 					if i >= n {
 						return
 					}
-					task(i)
+					task(w, i)
 				}
-			}()
+			}(w)
 		}
 		wg.Wait()
 	}
-	fanOut(len(epsMeters), func(row int) { grids[row] = spatial.NewGrid(pts, epsMeters[row]) })
-	fanOut(len(out), func(i int) { cell(i/len(minPts), i%len(minPts), grids[i/len(minPts)]) })
+	fanOut(len(epsMeters), func(_, row int) { grids[row] = spatial.NewGrid(pts, epsMeters[row]) })
+	fanOut(len(out), func(w, i int) { cell(i/len(minPts), i%len(minPts), grids[i/len(minPts)], &scratch[w]) })
 	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"taxiqueue/internal/core"
@@ -72,16 +73,23 @@ type blockSummary struct {
 	DepSum  float64 // Σ NDep
 }
 
-// block is one sealed run of records of a single day: the encoded payload
-// (what the generation file frames carry) plus the decoded records kept in
-// memory for serving. A block with Count == 0 is a bare watermark carrier:
-// it records that the day is fully empty below coveredBelow.
+// block is one sealed run of records of a single day. Blocks sealed at
+// runtime keep the encoded payload (what the generation file frames
+// carry) and the records in memory; blocks recovered at Open are
+// disk-resident — only the summary lives in memory, ref locates the
+// payload, and the records materialize on demand through the store's
+// decoded-block cache. A block with Count == 0 is a bare watermark
+// carrier: it records that the day is fully empty below coveredBelow.
 type block struct {
 	day          int
 	coveredBelow int
 	sum          blockSummary
 	payload      []byte
 	recs         []Record
+	// ref locates the payload on disk for lazily-recovered blocks (nil
+	// for runtime-sealed blocks, whose payload is in memory). A rotate
+	// re-points it at the fresh generation, so it is read atomically.
+	ref atomic.Pointer[fileRef]
 }
 
 // overlaps reports whether the block holds any record in [loSlot, hiSlot).
@@ -226,6 +234,52 @@ func encodeBlock(day int, recs []Record, coveredBelow int, amp core.Amplificatio
 	}
 	b.payload = buf
 	return b
+}
+
+// parseSummaryBlock decodes only a payload's summary prefix — day,
+// coveredBelow, count and, when count > 0, the slot range, per-label
+// counts and feature sums — leaving the columns on disk. The label total
+// must reconcile with the record count (the same property full decode
+// enforces record by record), so a frame this accepts carries a summary
+// decodeBlock would have produced. The caller wires a fileRef so the
+// records can be materialized on demand.
+func parseSummaryBlock(payload []byte) (*block, error) {
+	r := &byteReader{buf: payload}
+	day := r.uvarint()
+	covered := r.uvarint()
+	count := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if count > uint64(len(payload)) { // each record takes ≥1 flag byte
+		return nil, errBadBlock
+	}
+	b := &block{day: int(day), coveredBelow: int(covered)}
+	b.sum.Count = int(count)
+	if count == 0 {
+		if r.off != len(payload) {
+			return nil, errBadBlock
+		}
+		return b, nil
+	}
+	b.sum.MinSlot = int(r.uvarint())
+	b.sum.MaxSlot = int(r.uvarint())
+	labelTotal := 0
+	for i := range b.sum.Labels {
+		b.sum.Labels[i] = int(r.uvarint())
+		labelTotal += b.sum.Labels[i]
+	}
+	b.sum.WaitSum = r.f64()
+	b.sum.ArrSum = r.f64()
+	b.sum.QLenSum = r.f64()
+	b.sum.DepSum = r.f64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if b.sum.MinSlot > b.sum.MaxSlot || labelTotal != b.sum.Count {
+		return nil, errBadBlock
+	}
+	return b, nil
 }
 
 // byteReader walks a payload with explicit bounds errors (a torn or

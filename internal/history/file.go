@@ -1,9 +1,11 @@
 package history
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -36,6 +38,10 @@ import (
 const (
 	histMagic    = "TQHIST1\n"
 	maxFrameSize = 1 << 30
+	// maxHeaderSize bounds the variable-length file header: magic (8) +
+	// three uvarints (≤10 each) + three fixed 8-byte stamps + the
+	// baseCount uvarint (≤10) = 72; rounded up.
+	maxHeaderSize = 96
 )
 
 func genFileName(gen int) string { return fmt.Sprintf("hist-%d.hb", gen) }
@@ -141,10 +147,37 @@ func (s *Store) persistLocked(b *block) {
 	s.durable++
 }
 
+// blockPayloadLocked fetches one block's encoded payload for a rewrite:
+// from memory for runtime-sealed blocks, from disk (via files, a
+// per-rotate handle cache) for lazily-recovered ones.
+func (s *Store) blockPayloadLocked(b *block, files map[string]*os.File) ([]byte, error) {
+	if b.payload != nil {
+		return b.payload, nil
+	}
+	ref := b.ref.Load()
+	if ref == nil {
+		return nil, errBadBlock
+	}
+	f := files[ref.name]
+	if f == nil {
+		var err error
+		f, err = os.Open(ref.name)
+		if err != nil {
+			return nil, err
+		}
+		files[ref.name] = f
+	}
+	return ref.read(f)
+}
+
 // rotateLocked escapes a poisoned generation: every sealed block is
 // re-framed into a fresh generation with baseCount 0, and on success the
 // older generations are removed (best effort — a leftover older
 // generation is harmless, the newer one's baseCount supersedes it).
+// Disk-resident blocks have their payloads copied from the old
+// generations and their refs re-pointed at the new one before the old
+// files go away; refs only move once the whole rewrite is synced, so a
+// failed rotate leaves every ref on the still-present old generations.
 func (s *Store) rotateLocked() {
 	if s.file != nil {
 		_ = s.file.Close()
@@ -167,17 +200,38 @@ func (s *Store) rotateLocked() {
 		return
 	}
 	bytes += int64(len(hdr))
+	oldFiles := make(map[string]*os.File)
+	defer func() {
+		for _, of := range oldFiles {
+			_ = of.Close()
+		}
+	}()
+	newRefs := make(map[*block]*fileRef)
 	for _, b := range s.blocks {
-		frame := frameBytes(b.payload)
+		payload, err := s.blockPayloadLocked(b, oldFiles)
+		if err != nil {
+			s.failLocked(err)
+			return
+		}
+		frame := frameBytes(payload)
 		if _, err := f.Write(frame); err != nil {
 			s.failLocked(err)
 			return
+		}
+		if b.payload == nil {
+			newRefs[b] = &fileRef{
+				name: name, off: bytes + 8, size: len(payload),
+				crc: crc32.ChecksumIEEE(payload),
+			}
 		}
 		bytes += int64(len(frame))
 	}
 	if err := f.Sync(); err != nil {
 		s.failLocked(err)
 		return
+	}
+	for b, ref := range newRefs {
+		b.ref.Store(ref)
 	}
 	s.needRewrite = false
 	s.durable = len(s.blocks)
@@ -213,12 +267,18 @@ func (s *Store) syncLocked() {
 
 // recover loads the generation files under cfg.Dir, keeping the longest
 // clean prefix of blocks. Damage (a torn header, an impossible baseCount,
-// a frame with a bad length/CRC or an undecodable payload) truncates the
+// a frame with a bad length/CRC or an unparsable summary) truncates the
 // damaged file at its last clean frame, removes all later generations,
 // and counts one truncation; a complete header written under a different
 // configuration is a hard error. Reads and repairs use the real
 // filesystem — only the write path goes through the (fault-injectable)
 // cfg.FS, mirroring the WAL.
+//
+// Recovery is lazy: every frame is streamed through a reused buffer and
+// CRC-checked exactly as before, but only the summary prefix is decoded —
+// the columns stay on disk behind a fileRef and materialize on first use
+// (see lazy.go). Open-time memory is therefore proportional to the block
+// count, not the record count.
 func (s *Store) recover() error {
 	ents, err := os.ReadDir(s.cfg.Dir)
 	if err != nil {
@@ -241,11 +301,7 @@ func (s *Store) recover() error {
 			_ = os.Remove(name)
 			continue
 		}
-		data, err := os.ReadFile(name)
-		if err != nil {
-			return fmt.Errorf("history: recover %s: %w", name, err)
-		}
-		kept, blocks, hardErr := s.recoverFile(name, data)
+		kept, size, blocks, hardErr := s.recoverGen(name)
 		if hardErr != nil {
 			return hardErr
 		}
@@ -267,7 +323,7 @@ func (s *Store) recover() error {
 		}
 		// A rewrite generation supersedes everything beyond its base.
 		s.blocks = append(s.blocks[:base], blocks.frames...)
-		if kept < int64(len(data)) {
+		if kept < size {
 			if err := os.Truncate(name, kept); err != nil {
 				return fmt.Errorf("history: truncate %s: %w", name, err)
 			}
@@ -292,17 +348,31 @@ type recoveredGen struct {
 	frames    []*block
 }
 
-// recoverFile parses one generation file. Returns the clean byte length,
-// the parsed content (nil when the header itself is unusable), and a hard
-// error only for a complete header stamped with a different configuration.
-func (s *Store) recoverFile(name string, data []byte) (int64, *recoveredGen, error) {
-	if len(data) < len(histMagic) {
-		return 0, nil, nil // torn creation
+// recoverGen streams one generation file: header check, then per frame a
+// CRC check and a summary-prefix parse into a lazy block. Returns the
+// clean byte length, the file size, the parsed content (nil when the
+// header itself is unusable), and a hard error only for a complete header
+// stamped with a different configuration (or an unreadable file).
+func (s *Store) recoverGen(name string) (int64, int64, *recoveredGen, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("history: recover %s: %w", name, err)
 	}
-	if string(data[:len(histMagic)]) != histMagic {
-		return 0, nil, fmt.Errorf("history: %s: not a history file", name)
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("history: recover %s: %w", name, err)
 	}
-	r := &byteReader{buf: data, off: len(histMagic)}
+	size := fi.Size()
+	br := bufio.NewReaderSize(f, 64<<10)
+	hdr, _ := br.Peek(maxHeaderSize) // short near EOF; the parse bounds-checks
+	if len(hdr) < len(histMagic) {
+		return 0, size, nil, nil // torn creation
+	}
+	if string(hdr[:len(histMagic)]) != histMagic {
+		return 0, size, nil, fmt.Errorf("history: %s: not a history file", name)
+	}
+	r := &byteReader{buf: hdr, off: len(histMagic)}
 	slots := r.uvarint()
 	slotLen := r.uvarint()
 	nspots := r.uvarint()
@@ -311,7 +381,7 @@ func (s *Store) recoverFile(name string, data []byte) (int64, *recoveredGen, err
 	ifactor := r.f64()
 	base := r.uvarint()
 	if r.err != nil {
-		return 0, nil, nil // torn header
+		return 0, size, nil, nil // torn header
 	}
 	if int(slots) != s.cfg.Grid.Slots ||
 		int64(slotLen) != int64(s.cfg.Grid.SlotLen) ||
@@ -319,35 +389,48 @@ func (s *Store) recoverFile(name string, data []byte) (int64, *recoveredGen, err
 		int64(start) != s.cfg.Grid.Start.UnixNano() ||
 		!sameBits(factor, s.cfg.Amplify.Factor) ||
 		!sameBits(ifactor, s.cfg.Amplify.IntervalFactor) {
-		return 0, nil, fmt.Errorf("history: %s: config mismatch (written under a different grid/spots/amplification)", name)
+		return 0, size, nil, fmt.Errorf("history: %s: config mismatch (written under a different grid/spots/amplification)", name)
 	}
 	if base > uint64(maxFrameSize) {
-		return 0, nil, nil
+		return 0, size, nil, nil
+	}
+	if _, err := br.Discard(r.off); err != nil {
+		return 0, size, nil, nil
 	}
 	out := &recoveredGen{baseCount: int(base)}
-	clean := int64(r.off)
-	for r.off < len(data) {
-		if r.off+8 > len(data) {
+	off := int64(r.off)
+	clean := off
+	var fhdr [8]byte
+	var scratch []byte
+	for {
+		if _, err := io.ReadFull(br, fhdr[:]); err != nil {
+			break // clean EOF or torn frame header — either way the tail ends here
+		}
+		plen := binary.LittleEndian.Uint32(fhdr[0:])
+		crc := binary.LittleEndian.Uint32(fhdr[4:])
+		if plen > maxFrameSize {
 			break
 		}
-		plen := binary.LittleEndian.Uint32(data[r.off:])
-		crc := binary.LittleEndian.Uint32(data[r.off+4:])
-		if plen > maxFrameSize || r.off+8+int(plen) > len(data) {
+		if int(plen) > cap(scratch) {
+			scratch = make([]byte, plen)
+		}
+		payload := scratch[:plen]
+		if _, err := io.ReadFull(br, payload); err != nil {
 			break
 		}
-		payload := data[r.off+8 : r.off+8+int(plen)]
 		if crc32.ChecksumIEEE(payload) != crc {
 			break
 		}
-		b, err := decodeBlock(payload, s.cfg.Amplify, s.slotSec)
+		b, err := parseSummaryBlock(payload)
 		if err != nil {
 			break
 		}
+		b.ref.Store(&fileRef{name: name, off: off + 8, size: int(plen), crc: crc})
 		out.frames = append(out.frames, b)
-		r.off += 8 + int(plen)
-		clean = int64(r.off)
+		off += 8 + int64(plen)
+		clean = off
 	}
-	return clean, out, nil
+	return clean, size, out, nil
 }
 
 // f64bits reads 8 LE bytes as a uint64 (for the grid-start stamp, which

@@ -92,6 +92,13 @@ type Config struct {
 	// BlockRecords seals the open tail into an encoded block once it holds
 	// this many records; 512 when 0.
 	BlockRecords int
+	// BlockCacheBlocks bounds the decoded-block LRU that fronts
+	// disk-resident blocks after a lazy Open; 64 when 0.
+	BlockCacheBlocks int
+	// EagerOpen decodes every recovered block at Open, restoring the
+	// pre-lazy resident behavior (every CRC check still runs either way).
+	// Identity tests and the open-cost benchmarks compare against it.
+	EagerOpen bool
 	// TileMeters is the heatmap tile edge length; 400 m when 0.
 	TileMeters float64
 	// Metrics is the registry the store's collectors live in; a private
@@ -108,6 +115,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Amplify.Factor == 0 {
 		c.Amplify = core.NoAmplification
+	}
+	if c.BlockCacheBlocks == 0 {
+		c.BlockCacheBlocks = 64
 	}
 	if c.FS == nil {
 		c.FS = store.OS
@@ -157,6 +167,10 @@ type Store struct {
 
 	pub atomic.Pointer[index]
 
+	// cache fronts disk-resident (lazily recovered) blocks with decoded
+	// records; see lazy.go.
+	cache *blockCache
+
 	empty []emptyCell
 
 	mu      sync.Mutex
@@ -203,12 +217,22 @@ func Open(cfg Config) (*Store, error) {
 		wm:          make(map[int]int),
 		persistedWM: make(map[int]int),
 	}
+	s.cache = newBlockCache(cfg.BlockCacheBlocks, s.met)
 	if cfg.Dir != "" {
 		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("history: dir: %w", err)
 		}
 		if err := s.recover(); err != nil {
 			return nil, err
+		}
+		if cfg.EagerOpen {
+			// Decode every recovered block up front and pin the records in
+			// the block itself, bypassing the cache.
+			for _, b := range s.blocks {
+				if b.sum.Count > 0 && b.recs == nil {
+					b.recs = s.materialize(b)
+				}
+			}
 		}
 	}
 	for _, b := range s.blocks {
@@ -482,16 +506,25 @@ type Stats struct {
 	Bytes       int64 `json:"bytes"`        // encoded bytes on disk (header + frames)
 	Truncations int64 `json:"truncations"`  // recoveries that cut a damaged tail
 	WriteErrors int64 `json:"write_errors"` // failed frame writes/syncs (rotated away)
+
+	SummaryHits         int64 `json:"summary_hits"`          // range blocks served summary-only
+	SummaryMisses       int64 `json:"summary_misses"`        // range blocks that had to decode
+	BlockCacheHits      int64 `json:"block_cache_hits"`      // decoded-block cache hits
+	BlockCacheEvictions int64 `json:"block_cache_evictions"` // decoded-block cache evictions
 }
 
 // Stats snapshots the collectors.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Appends:     s.met.appends.Value(),
-		Records:     s.met.records.Value(),
-		Blocks:      s.met.blocks.Value(),
-		Bytes:       s.met.bytes.Value(),
-		Truncations: s.met.truncations.Value(),
-		WriteErrors: s.met.writeErrs.Value(),
+		Appends:             s.met.appends.Value(),
+		Records:             s.met.records.Value(),
+		Blocks:              s.met.blocks.Value(),
+		Bytes:               s.met.bytes.Value(),
+		Truncations:         s.met.truncations.Value(),
+		WriteErrors:         s.met.writeErrs.Value(),
+		SummaryHits:         s.met.summaryHits.Value(),
+		SummaryMisses:       s.met.summaryMisses.Value(),
+		BlockCacheHits:      s.met.cacheHits.Value(),
+		BlockCacheEvictions: s.met.cacheEvictions.Value(),
 	}
 }

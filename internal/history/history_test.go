@@ -490,6 +490,7 @@ func TestMetricsConsistency(t *testing.T) {
 	cfg := testConfig(4)
 	cfg.Dir = t.TempDir()
 	cfg.Metrics = reg
+	cfg.BlockRecords = 24 // several blocks, so one range query hits AND misses
 	s, err := Open(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -501,6 +502,9 @@ func TestMetricsConsistency(t *testing.T) {
 	s.Series(0, s.TimeOf(0, 0), s.TimeOf(0, 48))
 	s.Heatmap(s.TimeOf(0, 3))
 	s.Transitions(0)
+	// Starts mid-block: the first block decodes (miss), the rest fold from
+	// their summaries (hits).
+	s.RangeSummary(s.TimeOf(0, 1), s.TimeOf(0, 48))
 
 	rec := httptest.NewRecorder()
 	reg.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
@@ -513,18 +517,26 @@ func TestMetricsConsistency(t *testing.T) {
 		"history_bytes":              st.Bytes,
 		"history_truncations_total":  st.Truncations,
 		"history_write_errors_total": st.WriteErrors,
+
+		"history_summary_hits_total":          st.SummaryHits,
+		"history_summary_misses_total":        st.SummaryMisses,
+		"history_block_cache_hits_total":      st.BlockCacheHits,
+		"history_block_cache_evictions_total": st.BlockCacheEvictions,
 	} {
 		line := name + " " + strconv.FormatInt(want, 10)
 		if !strings.Contains(body, line) {
 			t.Errorf("/metrics missing %q", line)
 		}
 	}
-	for _, q := range []string{"series", "heatmap", "transitions"} {
+	for _, q := range []string{"series", "heatmap", "transitions", "range"} {
 		if !strings.Contains(body, `history_query_seconds_count{query="`+q+`"} 1`) {
 			t.Errorf("/metrics missing query histogram for %s", q)
 		}
 	}
 	if st.Blocks == 0 || st.Records == 0 || st.Bytes == 0 {
 		t.Fatalf("degenerate stats: %+v", st)
+	}
+	if st.SummaryHits == 0 || st.SummaryMisses == 0 {
+		t.Fatalf("range query exercised only one aggregation path: %+v", st)
 	}
 }

@@ -12,8 +12,18 @@ type metrics struct {
 	truncations *obs.Counter
 	writeErrs   *obs.Counter
 
+	// Summary fast path: range aggregations served straight from block
+	// summaries vs blocks that had to decode (partial range overlap).
+	summaryHits   *obs.Counter
+	summaryMisses *obs.Counter
+	// Decoded-block LRU in front of the disk-resident blocks lazy Open
+	// leaves behind.
+	cacheHits      *obs.Counter
+	cacheEvictions *obs.Counter
+
 	qSeries      *obs.Histogram
 	qHeatmap     *obs.Histogram
+	qRange       *obs.Histogram
 	qTransitions *obs.Histogram
 }
 
@@ -36,8 +46,17 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Recoveries that truncated a damaged history file tail."),
 		writeErrs: reg.Counter("history_write_errors_total",
 			"Failed history frame writes or syncs (generation rotated)."),
+		summaryHits: reg.Counter("history_summary_hits_total",
+			"Range-aggregation blocks served from their summary without decoding."),
+		summaryMisses: reg.Counter("history_summary_misses_total",
+			"Range-aggregation blocks that partially overlapped the range and decoded."),
+		cacheHits: reg.Counter("history_block_cache_hits_total",
+			"Disk-resident block reads served from the decoded-block cache."),
+		cacheEvictions: reg.Counter("history_block_cache_evictions_total",
+			"Decoded blocks evicted from the cold end of the block cache."),
 		qSeries:      q("series"),
 		qHeatmap:     q("heatmap"),
+		qRange:       q("range"),
 		qTransitions: q("transitions"),
 	}
 }

@@ -78,7 +78,7 @@ func (s *Store) Series(spot int, from, to time.Time) []Point {
 			if b.day != day || !b.overlaps(lo, hi) {
 				continue
 			}
-			for _, r := range b.recs {
+			for _, r := range s.blockRecs(b) {
 				if r.Spot == spot && r.Slot >= lo && r.Slot < hi {
 					stored[r.Slot] = r
 				}
@@ -152,7 +152,7 @@ func (s *Store) Heatmap(at time.Time) (Heatmap, bool) {
 		if b.day != day || !b.overlaps(slot, slot+1) {
 			continue
 		}
-		for _, r := range b.recs {
+		for _, r := range s.blockRecs(b) {
 			if r.Slot == slot {
 				labels[r.Spot], feats[r.Spot], seen[r.Spot] = r.Label, r.Feats, true
 			}
@@ -265,7 +265,7 @@ func (s *Store) Transitions(spot int) TransitionMatrix {
 			if b.day != day || !b.overlaps(0, below) {
 				continue
 			}
-			for _, r := range b.recs {
+			for _, r := range s.blockRecs(b) {
 				if r.Spot == spot && r.Slot < below {
 					out[r.Slot] = r.Label
 				}

@@ -42,6 +42,7 @@ type Grid struct {
 	cellID   map[uint64]int32 // cell key → index into spans
 	spans    []gridSpan       // per-cell [lo, hi) range into ids
 	ids      []int32          // all point IDs, grouped by cell
+	counts   []int32          // build scratch, kept for Reset reuse
 }
 
 type gridSpan struct{ lo, hi int32 }
@@ -52,20 +53,34 @@ type gridSpan struct{ lo, hi int32 }
 // cell, then IDs are placed into one backing array carved into per-cell
 // spans — no per-cell append growth.
 func NewGrid(pts []geo.Point, cellMeters float64) *Grid {
+	g := new(Grid)
+	g.Reset(pts, cellMeters)
+	return g
+}
+
+// Reset rebuilds the index over pts in place, reusing the cell map and
+// every backing array of the previous build that is large enough — the
+// parameter-sweep path rebuilds the same point set once per eps value, and
+// without reuse each rebuild re-allocates the whole index. Reset must not
+// run concurrently with queries; the zero Grid is a valid receiver.
+func (g *Grid) Reset(pts []geo.Point, cellMeters float64) {
 	if cellMeters <= 0 {
 		cellMeters = 15
 	}
-	g := &Grid{
-		pts:    pts,
-		cellID: make(map[uint64]int32, len(pts)/2+1),
+	g.pts = pts
+	if g.cellID == nil {
+		g.cellID = make(map[uint64]int32, len(pts)/2+1)
+	} else {
+		clear(g.cellID)
 	}
+	g.origin = geo.Point{}
 	if len(pts) > 0 {
 		g.origin = geo.BoundingRect(pts).Center()
 	}
 	metersPerDegLat := 2 * math.Pi * geo.EarthRadiusMeters / 360
 	g.cellDeg = cellMeters / metersPerDegLat
 	g.cellDegX = cellMeters / (metersPerDegLat * math.Cos(g.origin.Lat*math.Pi/180))
-	counts := make([]int32, 0, 64)
+	counts := g.counts[:0]
 	for _, p := range pts {
 		key := g.cellKey(p)
 		if id, ok := g.cellID[key]; ok {
@@ -75,19 +90,27 @@ func NewGrid(pts []geo.Point, cellMeters float64) *Grid {
 			counts = append(counts, 1)
 		}
 	}
-	g.spans = make([]gridSpan, len(counts))
+	g.counts = counts
+	if cap(g.spans) < len(counts) {
+		g.spans = make([]gridSpan, len(counts))
+	} else {
+		g.spans = g.spans[:len(counts)]
+	}
 	off := int32(0)
 	for i, c := range counts {
 		g.spans[i] = gridSpan{lo: off, hi: off} // hi advances during placement
 		off += c
 	}
-	g.ids = make([]int32, len(pts))
+	if cap(g.ids) < len(pts) {
+		g.ids = make([]int32, len(pts))
+	} else {
+		g.ids = g.ids[:len(pts)]
+	}
 	for i, p := range pts {
 		sp := &g.spans[g.cellID[g.cellKey(p)]]
 		g.ids[sp.hi] = int32(i)
 		sp.hi++
 	}
-	return g
 }
 
 // cellIDs returns the point IDs of one cell, or nil when the cell is empty.

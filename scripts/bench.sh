@@ -4,7 +4,7 @@
 # race-tests the concurrent packages.
 #
 # Usage:
-#   scripts/bench.sh                 # default: BENCH_OUT=BENCH_PR9.json
+#   scripts/bench.sh                 # default: BENCH_OUT=BENCH_PR10.json
 #   BENCHTIME=3x scripts/bench.sh    # more iterations per benchmark
 #   BENCH_COUNT=4 scripts/bench.sh   # -count=4, record the per-bench minimum
 #   BENCH_OUT=after.json scripts/bench.sh
@@ -19,7 +19,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${BENCH_OUT:-BENCH_PR9.json}"
+out="${BENCH_OUT:-BENCH_PR10.json}"
 benchtime="${BENCHTIME:-1x}"
 count="${BENCH_COUNT:-1}"
 raw="$(mktemp /tmp/bench_raw.XXXXXX.txt)"
@@ -54,7 +54,10 @@ go test -run '^$' -bench 'BenchmarkIncrementalExtract' -benchmem \
 	-benchtime "$incr_extract_benchtime" -count "$count" -timeout 45m ./internal/cluster | tee -a "$raw"
 
 # History store: watermark-advance append (encode + seal), one range scan
-# and one heatmap aggregation over a week of 50 spots.
+# and one heatmap aggregation over a week of 50 spots; the pattern also
+# picks up the analytics fast-path suite (BenchmarkHistoryHeatmapRange and
+# its decode-everything baseline, BenchmarkHistorySeriesWide, and the
+# lazy/eager cold-open pair).
 history_benchtime="${HISTORY_BENCHTIME:-200x}"
 echo ">> go test -bench BenchmarkHistory -benchmem -benchtime $history_benchtime -count $count ./internal/history"
 go test -run '^$' -bench 'BenchmarkHistory' -benchmem \
@@ -162,14 +165,26 @@ done
 	-clients 4 -feed -feed-scale 0.05
 
 # Range-scan smoke: finalize the fed slots, then drive the history mix
-# (series scans, heatmaps, transition matrices) against the same instance
-# while a second full-rate feed replays concurrently (its records dedup /
-# close-out harmlessly — the scans must not care); queueload exits
-# non-zero if any request errors.
+# (series scans, heatmaps, transition matrices, plus the wide mix's
+# multi-day /history spans and range-form /heatmap aggregates) against the
+# same instance while a second full-rate feed replays concurrently (its
+# records dedup / close-out harmlessly — the scans must not care);
+# queueload exits non-zero if any request errors.
 curl -fsS -X POST "http://$smoke_addr/ingest/flush" >/dev/null
 "$bin/queueload" -url "http://$smoke_addr" -duration "$smoke_dur" \
 	-clients 4 -feed -feed-scale 0.05 \
-	-mix "history=4,heatmap=2,transitions=1,spots=1,forecast=2,recommend=1"
+	-mix "history=4,heatmap=2,transitions=1,spots=1,forecast=2,recommend=1,wide=2"
+
+# The watermark advances during the feeds must have driven the cache
+# pre-warmer: /metrics must show rendered-ahead bodies, or the prewarm
+# path silently died.
+prewarm_total="$(curl -fsS "http://$smoke_addr/metrics" \
+	| awk '/^queued_cache_prewarm_total\{/ { sum += $NF } END { print sum + 0 }')"
+echo ">> queued_cache_prewarm_total = $prewarm_total"
+if [ "$prewarm_total" -le 0 ]; then
+	echo "!! pre-warmer rendered nothing during the smoke run" >&2
+	exit 1
+fi
 kill "$queued_pid" 2>/dev/null || true
 wait "$queued_pid" 2>/dev/null || true
 trap 'rm -rf "$bin" "$hist_dir"' EXIT
